@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner List Micro Printf String Tables Term Unix

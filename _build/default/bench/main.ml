@@ -1,0 +1,50 @@
+(* Experiment harness entry point.
+
+   `dune exec bench/main.exe` regenerates every table of the DESIGN.md
+   experiment matrix (T1..T10, A1..A3) and then runs the Bechamel
+   micro-benchmarks.  Options:
+
+     --quick        smaller sweeps (CI-friendly)
+     --only T1,T3   run a subset of the tables
+     --no-micro     skip the Bechamel timing section
+     --micro-only   only the Bechamel timing section *)
+
+let run quick only no_micro micro_only =
+  (match List.find_opt (fun n -> not (List.mem n Tables.names)) only with
+  | Some bad ->
+      Printf.eprintf "unknown table %S (known: %s)\n" bad (String.concat ", " Tables.names);
+      exit 2
+  | None -> ());
+  let t0 = Unix.gettimeofday () in
+  if not micro_only then begin
+    print_endline "Set-intersection communication experiments";
+    print_endline "(Brody-Chakrabarti-Kondapally-Woodruff-Yaroslavtsev, PODC 2014 reproduction)";
+    print_newline ();
+    Tables.run ~quick ~only
+  end;
+  if (not no_micro) || micro_only then Micro.run ();
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps and fewer trials (CI-friendly).")
+
+let only =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "only" ] ~docv:"TABLES" ~doc:"Comma-separated subset of tables to run (e.g. T1,T3,A2).")
+
+let no_micro = Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip the Bechamel micro-benchmarks.")
+
+let micro_only =
+  Arg.(value & flag & info [ "micro-only" ] ~doc:"Run only the Bechamel micro-benchmarks.")
+
+let cmd =
+  let doc = "Regenerate the experiment tables of the PODC'14 set-intersection reproduction." in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(const run $ quick $ only $ no_micro $ micro_only)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,79 @@
+(* Bechamel micro-benchmarks: wall-clock throughput of the substrate
+   primitives and one end-to-end run per protocol family.  (The experiment
+   tables in Tables measure communication; this section measures time.) *)
+
+open Bechamel
+open Toolkit
+open Intersect
+
+let seed = 987654321
+
+let make_pair ~universe ~k ~overlap =
+  Workload.Setgen.pair_with_overlap (Prng.Rng.of_int seed) ~universe ~size_s:k ~size_t:k ~overlap
+
+let tests () =
+  let rng = Prng.Rng.of_int seed in
+  let strhash_fn = Strhash.create (Prng.Rng.with_label rng "micro/strhash") ~bits:32 in
+  let cw =
+    Hashing.Carter_wegman.create (Prng.Rng.with_label rng "micro/cw") ~universe:(1 lsl 44)
+      ~range:1024
+  in
+  let payload = Bitio.Bits.of_string "a-reasonably-long-message-payload-for-hashing" in
+  let pair_small = make_pair ~universe:(1 lsl 30) ~k:256 ~overlap:128 in
+  let pair_large = make_pair ~universe:(1 lsl 30) ~k:1024 ~overlap:512 in
+  let run_protocol protocol pair i =
+    let outcome =
+      protocol.Protocol.run
+        (Prng.Rng.with_label (Prng.Rng.of_int (seed + i)) "micro/run")
+        ~universe:(1 lsl 30) pair.Workload.Setgen.s pair.Workload.Setgen.t
+    in
+    ignore (Iset.cardinal outcome.Protocol.alice)
+  in
+  [
+    Test.make ~name:"strhash/apply_int" (Staged.stage (fun () -> ignore (Strhash.apply_int strhash_fn 123456789)));
+    Test.make ~name:"strhash/apply_string" (Staged.stage (fun () -> ignore (Strhash.apply strhash_fn payload)));
+    Test.make ~name:"carter_wegman/hash" (Staged.stage (fun () -> ignore (Hashing.Carter_wegman.hash cw 987654321)));
+    Test.make ~name:"set_codec/gaps k=256"
+      (Staged.stage (fun () ->
+           let buf = Bitio.Bitbuf.create () in
+           Bitio.Set_codec.write_gaps buf pair_small.Workload.Setgen.s));
+    Test.make ~name:"protocol/trivial k=1024"
+      (Staged.stage (fun () -> run_protocol Trivial.protocol pair_large 0));
+    Test.make ~name:"protocol/one-round k=1024"
+      (Staged.stage (fun () -> run_protocol (One_round_hash.protocol ()) pair_large 1));
+    Test.make ~name:"protocol/tree r=2 k=1024"
+      (Staged.stage (fun () -> run_protocol (Tree_protocol.protocol ~r:2 ~k:1024 ()) pair_large 2));
+    Test.make ~name:"protocol/tree r=log*k k=1024"
+      (Staged.stage (fun () -> run_protocol (Tree_protocol.protocol_log_star ~k:1024 ()) pair_large 3));
+    Test.make ~name:"protocol/bucket k=256"
+      (Staged.stage (fun () -> run_protocol (Bucket_protocol.protocol ~k:256 ()) pair_small 4));
+  ]
+
+let run () =
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock, ns/run):";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let raw =
+    List.fold_left
+      (fun acc test ->
+        let results = Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ]) in
+        Hashtbl.iter (fun name result -> Hashtbl.replace acc name result) results;
+        acc)
+      (Hashtbl.create 16) (tests ())
+  in
+  let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> (name, nan) :: acc)
+      analyzed []
+    |> List.sort compare
+  in
+  let table = Stats.Table.create ~title:"Micro (time per run)" ~columns:[ "benchmark"; "ns/run" ] in
+  List.iter
+    (fun (name, ns) -> Stats.Table.add_row table [ name; Stats.Table.cell_float ns ])
+    rows;
+  Stats.Table.print table

@@ -1,0 +1,922 @@
+(* The experiment harness: one table per entry of the DESIGN.md experiment
+   matrix.  The paper (PODC'14 theory) has no empirical section, so each
+   table validates the *shape* a theorem predicts: communication scaling,
+   round counts, trade-offs, failure rates.  EXPERIMENTS.md records the
+   predicted-vs-measured reading of each table. *)
+
+open Intersect
+
+let base_seed = 20140715 (* PODC'14 *)
+
+let rng_of ~table ~seed = Prng.Rng.with_label (Prng.Rng.of_int (base_seed + seed)) table
+
+let gen_pair ~table ~seed ~universe ~k ~overlap =
+  Workload.Setgen.pair_with_overlap
+    (Prng.Rng.with_label (Prng.Rng.of_int (seed * 7919)) (table ^ "/workload"))
+    ~universe ~size_s:k ~size_t:k ~overlap
+
+type run_stats = {
+  bits : Stats.Summary.t;
+  rounds : Stats.Summary.t;
+  messages : Stats.Summary.t;
+  exact_rate : float;
+}
+
+(* Run [protocol] on [trials] fresh instances and summarize the costs. *)
+let measure ?(trials = 5) ~table ~universe ~k ~overlap protocol =
+  let bits = ref [] and rounds = ref [] and messages = ref [] in
+  let exact = ref 0 in
+  for seed = 1 to trials do
+    let pair = gen_pair ~table ~seed ~universe ~k ~overlap in
+    let outcome =
+      protocol.Protocol.run (rng_of ~table ~seed) ~universe pair.Workload.Setgen.s
+        pair.Workload.Setgen.t
+    in
+    bits := outcome.Protocol.cost.Commsim.Cost.total_bits :: !bits;
+    rounds := outcome.Protocol.cost.Commsim.Cost.rounds :: !rounds;
+    messages := outcome.Protocol.cost.Commsim.Cost.messages :: !messages;
+    if Protocol.exact outcome ~s:pair.Workload.Setgen.s ~t:pair.Workload.Setgen.t then incr exact
+  done;
+  {
+    bits = Stats.Summary.of_ints !bits;
+    rounds = Stats.Summary.of_ints !rounds;
+    messages = Stats.Summary.of_ints !messages;
+    exact_rate = float_of_int !exact /. float_of_int trials;
+  }
+
+let cell_bits_per_k summary k = Stats.Table.cell_float (summary.Stats.Summary.mean /. float_of_int k)
+
+(* ------------------------------------------------------------------ *)
+(* T1 + T2: Theorem 3.6 — bits ~ O(k log^(r) k), rounds <= 6r.         *)
+(* ------------------------------------------------------------------ *)
+
+let t1_t2 ~quick () =
+  let ks = if quick then [ 256; 1024 ] else [ 256; 1024; 4096; 16384 ] in
+  let rs = [ 1; 2; 3; 4; 5; 6 ] in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 20 in
+  let t1 =
+    Stats.Table.create
+      ~title:
+        "T1 (Thm 3.6): tree-protocol communication vs rounds budget r  [n=2^20, |S|=|T|=k, overlap k/2]"
+      ~columns:[ "k"; "r"; "bits (mean)"; "bits/k"; "log^(r) k"; "bits/(k log^(r) k)"; "exact" ]
+  in
+  let t2 =
+    Stats.Table.create ~title:"T2 (Thm 3.6): measured rounds vs the 6r bound"
+      ~columns:[ "k"; "r"; "rounds (mean)"; "rounds (max)"; "4r"; "6r"; "messages (mean)" ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun r ->
+          let stats =
+            measure ~trials ~table:(Printf.sprintf "T1/k%d/r%d" k r) ~universe ~k ~overlap:(k / 2)
+              (Tree_protocol.protocol ~r ~k ())
+          in
+          let ilog_r = Iterated_log.ilog r k in
+          Stats.Table.add_row t1
+            [
+              Stats.Table.cell_int k;
+              Stats.Table.cell_int r;
+              Stats.Table.cell_float stats.bits.Stats.Summary.mean;
+              cell_bits_per_k stats.bits k;
+              Stats.Table.cell_int ilog_r;
+              Stats.Table.cell_float
+                (stats.bits.Stats.Summary.mean /. float_of_int (k * max 1 ilog_r));
+              Stats.Table.cell_float ~decimals:2 stats.exact_rate;
+            ];
+          Stats.Table.add_row t2
+            [
+              Stats.Table.cell_int k;
+              Stats.Table.cell_int r;
+              Stats.Table.cell_float stats.rounds.Stats.Summary.mean;
+              Stats.Table.cell_float ~decimals:0 stats.rounds.Stats.Summary.max;
+              Stats.Table.cell_int (4 * r);
+              Stats.Table.cell_int (6 * r);
+              Stats.Table.cell_float stats.messages.Stats.Summary.mean;
+            ])
+        rs)
+    ks;
+  [ t1; t2 ]
+
+(* ------------------------------------------------------------------ *)
+(* F1: bits/k vs k for every two-party protocol (the "figure").        *)
+(* ------------------------------------------------------------------ *)
+
+let f1 ~quick () =
+  let ks = if quick then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096; 16384 ] in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 44 in
+  let table =
+    Stats.Table.create
+      ~title:
+        "F1: bits per element vs k, by protocol  [n=2^44; trivial grows with log(n/k), tree(log* k) stays flat]"
+      ~columns:[ "k"; "trivial"; "one-round-hash"; "tree r=1"; "tree r=2"; "tree r=3"; "tree r=log*k"; "bucket sqrt-k" ]
+  in
+  List.iter
+    (fun k ->
+      let protocols =
+        [
+          Trivial.protocol;
+          One_round_hash.protocol ();
+          Tree_protocol.protocol ~r:1 ~k ();
+          Tree_protocol.protocol ~r:2 ~k ();
+          Tree_protocol.protocol ~r:3 ~k ();
+          Tree_protocol.protocol_log_star ~k ();
+          Bucket_protocol.protocol ~k ();
+        ]
+      in
+      let cells =
+        List.mapi
+          (fun i protocol ->
+            let stats =
+              measure ~trials ~table:(Printf.sprintf "F1/k%d/p%d" k i) ~universe ~k
+                ~overlap:(k / 2) protocol
+            in
+            cell_bits_per_k stats.bits k)
+          protocols
+      in
+      Stats.Table.add_row table (Stats.Table.cell_int k :: cells))
+    ks;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T3: Theorem 3.1 — O(k) bits, O(sqrt k) rounds.                      *)
+(* ------------------------------------------------------------------ *)
+
+let t3 ~quick () =
+  let ks = if quick then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096 ] in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 30 in
+  let table =
+    Stats.Table.create
+      ~title:"T3 (Thm 3.1): bucket+batch-equality protocol — bits stay O(k), rounds grow ~sqrt(k)"
+      ~columns:
+        [ "k"; "bits (mean)"; "bits/k"; "rounds (mean)"; "rounds/sqrt(k)"; "exact" ]
+  in
+  List.iter
+    (fun k ->
+      let stats =
+        measure ~trials ~table:(Printf.sprintf "T3/k%d" k) ~universe ~k ~overlap:(k / 2)
+          (Bucket_protocol.protocol ~k ())
+      in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int k;
+          Stats.Table.cell_float stats.bits.Stats.Summary.mean;
+          cell_bits_per_k stats.bits k;
+          Stats.Table.cell_float stats.rounds.Stats.Summary.mean;
+          Stats.Table.cell_float ~decimals:2
+            (stats.rounds.Stats.Summary.mean /. sqrt (float_of_int k));
+          Stats.Table.cell_float ~decimals:2 stats.exact_rate;
+        ])
+    ks;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T4: success probabilities — raw vs Verified.                        *)
+(* ------------------------------------------------------------------ *)
+
+let t4 ~quick () =
+  let trials = if quick then 100 else 400 in
+  let universe = 1 lsl 20 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "T4: empirical failure rate over %d trials — raw tree protocol vs verify-and-repeat"
+           trials)
+      ~columns:[ "k"; "protocol"; "failures"; "rate"; "bound" ]
+  in
+  let configs =
+    [
+      (16, "tree r=2", Tree_protocol.protocol ~r:2 ~k:16 (), "1/poly(k)");
+      (64, "tree r=2", Tree_protocol.protocol ~r:2 ~k:64 (), "1/poly(k)");
+      (256, "tree r=3", Tree_protocol.protocol ~r:3 ~k:256 (), "1/poly(k)");
+      (16, "verified(tree r=2)", Verified.protocol (Tree_protocol.protocol ~r:2 ~k:16 ()), "2^-k");
+      (64, "verified(tree r=2)", Verified.protocol (Tree_protocol.protocol ~r:2 ~k:64 ()), "2^-k");
+    ]
+  in
+  List.iter
+    (fun (k, name, protocol, bound) ->
+      let failures = ref 0 in
+      for seed = 1 to trials do
+        let pair = gen_pair ~table:("T4/" ^ name) ~seed ~universe ~k ~overlap:(k / 2) in
+        let outcome =
+          protocol.Protocol.run
+            (rng_of ~table:(Printf.sprintf "T4/%s/k%d" name k) ~seed)
+            ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+        in
+        if not (Protocol.exact outcome ~s:pair.Workload.Setgen.s ~t:pair.Workload.Setgen.t) then
+          incr failures
+      done;
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int k;
+          name;
+          Stats.Table.cell_int !failures;
+          Stats.Table.cell_float ~decimals:4 (float_of_int !failures /. float_of_int trials);
+          bound;
+        ])
+    configs;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T5: Corollary 4.1 — average communication per player, rounds.       *)
+(* ------------------------------------------------------------------ *)
+
+let multiparty_family ~table ~seed ~universe ~players ~k =
+  Workload.Setgen.family_with_core
+    (Prng.Rng.with_label (Prng.Rng.of_int (seed * 104729)) (table ^ "/workload"))
+    ~universe ~players ~size:k ~core:(k / 4)
+
+let t5 ~quick () =
+  let ms = if quick then [ 4; 16 ] else [ 4; 16; 64; 256 ] in
+  let ks = if quick then [ 64 ] else [ 64; 512 ] in
+  let trials = if quick then 2 else 3 in
+  let universe = 1 lsl 30 in
+  let table =
+    Stats.Table.create
+      ~title:
+        "T5 (Cor 4.1): star protocol — avg bits/player stays O(k) as m grows; rounds ~ r * levels"
+      ~columns:
+        [ "m"; "k"; "avg bits/player"; "avg bits/(player*k)"; "rounds (mean)"; "levels"; "ok" ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun m ->
+          let avg = ref [] and rounds = ref [] and ok = ref 0 in
+          for seed = 1 to trials do
+            let tag = Printf.sprintf "T5/m%d/k%d" m k in
+            let sets = multiparty_family ~table:tag ~seed ~universe ~players:m ~k in
+            let result, cost = Multiparty.Star.run (rng_of ~table:tag ~seed) ~universe ~k sets in
+            avg := Commsim.Cost.avg_player_bits cost :: !avg;
+            rounds := cost.Commsim.Cost.rounds :: !rounds;
+            if Iset.equal result (Iset.inter_many (Array.to_list sets)) then incr ok
+          done;
+          let avg = Stats.Summary.of_floats !avg in
+          let rounds = Stats.Summary.of_ints !rounds in
+          Stats.Table.add_row table
+            [
+              Stats.Table.cell_int m;
+              Stats.Table.cell_int k;
+              Stats.Table.cell_float avg.Stats.Summary.mean;
+              Stats.Table.cell_float ~decimals:2 (avg.Stats.Summary.mean /. float_of_int k);
+              Stats.Table.cell_float rounds.Stats.Summary.mean;
+              Stats.Table.cell_int (Multiparty.Group.levels ~m ~k);
+              Printf.sprintf "%d/%d" !ok trials;
+            ])
+        ms)
+    ks;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T6: Corollary 4.2 — worst-case per-player load, star vs tournament. *)
+(* ------------------------------------------------------------------ *)
+
+let t6 ~quick () =
+  let ms = if quick then [ 8; 32 ] else [ 8; 32; 128 ] in
+  let k = 64 in
+  let trials = if quick then 2 else 3 in
+  let universe = 1 lsl 30 in
+  let table =
+    Stats.Table.create
+      ~title:
+        "T6 (Cor 4.2): busiest-player bits — the tournament amortizes the star coordinator's hotspot"
+      ~columns:
+        [
+          "m";
+          "star max bits/player";
+          "tournament max bits/player";
+          "ratio";
+          "star rounds";
+          "tournament rounds";
+        ]
+  in
+  List.iter
+    (fun m ->
+      let star_max = ref [] and tour_max = ref [] in
+      let star_rounds = ref [] and tour_rounds = ref [] in
+      for seed = 1 to trials do
+        let tag = Printf.sprintf "T6/m%d" m in
+        let sets = multiparty_family ~table:tag ~seed ~universe ~players:m ~k in
+        let _, star_cost = Multiparty.Star.run (rng_of ~table:tag ~seed) ~universe ~k sets in
+        let _, tour_cost =
+          Multiparty.Tournament.run (rng_of ~table:(tag ^ "/t") ~seed) ~universe ~k sets
+        in
+        star_max := Commsim.Cost.max_player_bits star_cost :: !star_max;
+        tour_max := Commsim.Cost.max_player_bits tour_cost :: !tour_max;
+        star_rounds := star_cost.Commsim.Cost.rounds :: !star_rounds;
+        tour_rounds := tour_cost.Commsim.Cost.rounds :: !tour_rounds
+      done;
+      let star_max = Stats.Summary.of_ints !star_max in
+      let tour_max = Stats.Summary.of_ints !tour_max in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int m;
+          Stats.Table.cell_float star_max.Stats.Summary.mean;
+          Stats.Table.cell_float tour_max.Stats.Summary.mean;
+          Stats.Table.cell_float ~decimals:2
+            (star_max.Stats.Summary.mean /. tour_max.Stats.Summary.mean);
+          Stats.Table.cell_float (Stats.Summary.of_ints !star_rounds).Stats.Summary.mean;
+          Stats.Table.cell_float (Stats.Summary.of_ints !tour_rounds).Stats.Summary.mean;
+        ])
+    ms;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T7: sensitivity of Theorem 3.6 cost to the intersection size.       *)
+(* ------------------------------------------------------------------ *)
+
+let t7 ~quick () =
+  let k = if quick then 1024 else 4096 in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 30 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "T7: tree(r=3) cost vs intersection size  [k=%d — cost must stay O(k) even when |S cap T| is large]"
+           k)
+      ~columns:[ "|S cap T| / k"; "bits (mean)"; "bits/k"; "rounds"; "exact" ]
+  in
+  List.iter
+    (fun fraction ->
+      let overlap = int_of_float (fraction *. float_of_int k) in
+      let stats =
+        measure ~trials ~table:(Printf.sprintf "T7/f%f" fraction) ~universe ~k ~overlap
+          (Tree_protocol.protocol ~r:3 ~k ())
+      in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_float ~decimals:2 fraction;
+          Stats.Table.cell_float stats.bits.Stats.Summary.mean;
+          cell_bits_per_k stats.bits k;
+          Stats.Table.cell_float stats.rounds.Stats.Summary.mean;
+          Stats.Table.cell_float ~decimals:2 stats.exact_rate;
+        ])
+    [ 0.0; 0.25; 0.5; 0.9; 1.0 ];
+  (* companion: skewed (Zipf) workloads, where overlap emerges from the
+     shared head of the popularity distribution *)
+  let zipf =
+    Stats.Table.create
+      ~title:"T7b: tree(r=3) on Zipf-skewed workloads (overlap emerges from popularity skew)"
+      ~columns:[ "zipf exponent"; "observed |S cap T|/k"; "bits/k"; "exact" ]
+  in
+  let zipf_k = if quick then 512 else 2048 in
+  List.iter
+    (fun exponent ->
+      let bits = ref [] and overlaps = ref [] and exact = ref 0 in
+      for seed = 1 to trials do
+        let pair =
+          Workload.Setgen.zipf_pair
+            (Prng.Rng.with_label (Prng.Rng.of_int (seed * 13)) "T7b")
+            ~universe:(zipf_k * 16) ~size:zipf_k ~exponent
+        in
+        let protocol = Tree_protocol.protocol ~r:3 ~k:zipf_k () in
+        let outcome =
+          protocol.Protocol.run
+            (rng_of ~table:(Printf.sprintf "T7b/e%f" exponent) ~seed)
+            ~universe:(zipf_k * 16) pair.Workload.Setgen.s pair.Workload.Setgen.t
+        in
+        bits := outcome.Protocol.cost.Commsim.Cost.total_bits :: !bits;
+        overlaps :=
+          Iset.cardinal (Iset.inter pair.Workload.Setgen.s pair.Workload.Setgen.t) :: !overlaps;
+        if Protocol.exact outcome ~s:pair.Workload.Setgen.s ~t:pair.Workload.Setgen.t then
+          incr exact
+      done;
+      Stats.Table.add_row zipf
+        [
+          Stats.Table.cell_float ~decimals:2 exponent;
+          Stats.Table.cell_float ~decimals:2
+            ((Stats.Summary.of_ints !overlaps).Stats.Summary.mean /. float_of_int zipf_k);
+          Stats.Table.cell_float
+            ((Stats.Summary.of_ints !bits).Stats.Summary.mean /. float_of_int zipf_k);
+          Printf.sprintf "%d/%d" !exact trials;
+        ])
+    [ 0.5; 1.0; 1.5 ];
+  [ table; zipf ]
+
+(* ------------------------------------------------------------------ *)
+(* T8: disjointness baselines vs the intersection reduction.           *)
+(* ------------------------------------------------------------------ *)
+
+let t8 ~quick () =
+  let ks = if quick then [ 16; 64 ] else [ 16; 64; 256; 1024 ] in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 30 in
+  let table =
+    Stats.Table.create
+      ~title:
+        "T8: DISJ upper bounds — HW-style protocol vs the DISJ<=INT reduction (tree r=log* k)"
+      ~columns:
+        [ "k"; "hw bits"; "hw rounds"; "via-INT bits"; "via-INT rounds"; "INT/HW bit ratio" ]
+  in
+  List.iter
+    (fun k ->
+      let hw_bits = ref [] and hw_rounds = ref [] in
+      let int_bits = ref [] and int_rounds = ref [] in
+      for seed = 1 to trials do
+        let tag = Printf.sprintf "T8/k%d" k in
+        let pair = gen_pair ~table:tag ~seed ~universe ~k ~overlap:0 in
+        let hw =
+          Disjointness.hw (rng_of ~table:tag ~seed) ~universe pair.Workload.Setgen.s
+            pair.Workload.Setgen.t
+        in
+        hw_bits := hw.Disjointness.cost.Commsim.Cost.total_bits :: !hw_bits;
+        hw_rounds := hw.Disjointness.cost.Commsim.Cost.rounds :: !hw_rounds;
+        let via =
+          Disjointness.via_intersection
+            (Tree_protocol.protocol_log_star ~k ())
+            (rng_of ~table:(tag ^ "/via") ~seed)
+            ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+        in
+        int_bits := via.Disjointness.cost.Commsim.Cost.total_bits :: !int_bits;
+        int_rounds := via.Disjointness.cost.Commsim.Cost.rounds :: !int_rounds
+      done;
+      let hw_bits = Stats.Summary.of_ints !hw_bits in
+      let int_bits = Stats.Summary.of_ints !int_bits in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int k;
+          Stats.Table.cell_float hw_bits.Stats.Summary.mean;
+          Stats.Table.cell_float (Stats.Summary.of_ints !hw_rounds).Stats.Summary.mean;
+          Stats.Table.cell_float int_bits.Stats.Summary.mean;
+          Stats.Table.cell_float (Stats.Summary.of_ints !int_rounds).Stats.Summary.mean;
+          Stats.Table.cell_float ~decimals:2
+            (int_bits.Stats.Summary.mean /. hw_bits.Stats.Summary.mean);
+        ])
+    ks;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T9: the applications inherit the trade-off.                         *)
+(* ------------------------------------------------------------------ *)
+
+let t9 ~quick () =
+  let k = if quick then 256 else 1024 in
+  let universe = 1 lsl 44 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "T9: applications at k=%d, n=2^44 — exact answers at O(k) bits vs shipping the sets" k)
+      ~columns:[ "application"; "answer"; "bits (smart)"; "bits (trivial)"; "bits (naive)"; "saving" ]
+  in
+  let tag = "T9" in
+  let pair = gen_pair ~table:tag ~seed:1 ~universe ~k ~overlap:(k / 3) in
+  let s = pair.Workload.Setgen.s and t = pair.Workload.Setgen.t in
+  let smart = Apps.Similarity.run (rng_of ~table:tag ~seed:1) ~universe s t in
+  let trivial =
+    Apps.Similarity.run ~protocol:Trivial.protocol (rng_of ~table:tag ~seed:1) ~universe s t
+  in
+  let smart_bits = smart.Apps.Similarity.cost.Commsim.Cost.total_bits in
+  let trivial_bits = trivial.Apps.Similarity.cost.Commsim.Cost.total_bits in
+  (* fixed-width element lists, both directions: the comparison most
+     systems actually make *)
+  let naive_bits = (Array.length s + Array.length t) * Bitio.Set_codec.universe_width universe in
+  let saving = Printf.sprintf "%.1fx" (float_of_int naive_bits /. float_of_int smart_bits) in
+  let add name answer =
+    Stats.Table.add_row table
+      [
+        name;
+        answer;
+        Stats.Table.cell_int smart_bits;
+        Stats.Table.cell_int trivial_bits;
+        Stats.Table.cell_int naive_bits;
+        saving;
+      ]
+  in
+  add "intersection size" (Stats.Table.cell_int smart.Apps.Similarity.intersection_size);
+  add "union size / distinct" (Stats.Table.cell_int smart.Apps.Similarity.union_size);
+  add "jaccard" (Stats.Table.cell_float ~decimals:4 smart.Apps.Similarity.jaccard);
+  add "hamming distance" (Stats.Table.cell_int smart.Apps.Similarity.hamming);
+  add "1-rarity" (Stats.Table.cell_float ~decimals:4 smart.Apps.Similarity.rarity1);
+  add "2-rarity" (Stats.Table.cell_float ~decimals:4 smart.Apps.Similarity.rarity2);
+  (* join: payload exchange dominated by the matched rows *)
+  let mk prefix keys = Array.map (fun key -> { Apps.Join.key; payload = prefix ^ string_of_int key }) keys in
+  let joined, join_cost =
+    Apps.Join.run (rng_of ~table:(tag ^ "/join") ~seed:1) ~universe ~left:(mk "L" s)
+      ~right:(mk "R" t)
+  in
+  Stats.Table.add_row table
+    [
+      "equi-join (rows)";
+      Stats.Table.cell_int (List.length joined);
+      Stats.Table.cell_int join_cost.Commsim.Cost.total_bits;
+      "-";
+      "-";
+      "-";
+    ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T10: Fact 2.1 — EQ^n_k through INT_k.                               *)
+(* ------------------------------------------------------------------ *)
+
+let t10 ~quick () =
+  let ks = if quick then [ 64; 256 ] else [ 64; 256; 1024 ] in
+  let string_bytes = 100 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "T10 (Fact 2.1): EQ^n_k via INT_k — amortized bits/instance on %d-byte strings" string_bytes)
+      ~columns:[ "k"; "bits"; "bits/instance"; "naive exchange bits"; "saving"; "correct" ]
+  in
+  List.iter
+    (fun k ->
+      let pad i c = String.make string_bytes c ^ string_of_int i in
+      let xs = Array.init k (fun i -> pad i 'x') in
+      let ys = Array.init k (fun i -> if i mod 2 = 0 then pad i 'x' else pad i 'y') in
+      let answers, cost = Apps.Eq_via_intersection.run (rng_of ~table:"T10" ~seed:k) xs ys in
+      let correct = ref true in
+      Array.iteri (fun i v -> if v <> (i mod 2 = 0) then correct := false) answers;
+      let naive = 8 * string_bytes * k in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int k;
+          Stats.Table.cell_int cost.Commsim.Cost.total_bits;
+          Stats.Table.cell_float
+            (float_of_int cost.Commsim.Cost.total_bits /. float_of_int k);
+          Stats.Table.cell_int naive;
+          Printf.sprintf "%.1fx" (float_of_int naive /. float_of_int cost.Commsim.Cost.total_bits);
+          (if !correct then "yes" else "NO");
+        ])
+    ks;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablation — the per-stage equality budget schedule.              *)
+(* ------------------------------------------------------------------ *)
+
+let a1 ~quick () =
+  let k = if quick then 1024 else 4096 in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 30 in
+  let r = 3 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "A1 (ablation): equality-tag schedule at r=%d, k=%d — the paper's 4*log(log^(r-i-1) k) vs flat budgets"
+           r k)
+      ~columns:[ "schedule"; "bits (mean)"; "bits/k"; "exact" ]
+  in
+  let configs =
+    [
+      ("paper schedule", Tree_protocol.protocol ~r ~k ());
+      ("flat 8 bits", Tree_protocol.protocol ~flat_eq_bits:8 ~r ~k ());
+      ("flat 16 bits", Tree_protocol.protocol ~flat_eq_bits:16 ~r ~k ());
+      ("flat 4 log k bits", Tree_protocol.protocol ~flat_eq_bits:(4 * Iterated_log.log2_ceil k) ~r ~k ());
+    ]
+  in
+  List.iter
+    (fun (name, protocol) ->
+      let stats = measure ~trials ~table:("A1/" ^ name) ~universe ~k ~overlap:(k / 2) protocol in
+      Stats.Table.add_row table
+        [
+          name;
+          Stats.Table.cell_float stats.bits.Stats.Summary.mean;
+          cell_bits_per_k stats.bits k;
+          Stats.Table.cell_float ~decimals:2 stats.exact_rate;
+        ])
+    configs;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* A2: ablation — universe growth: log(n/k) vs hashing it away.        *)
+(* ------------------------------------------------------------------ *)
+
+let a2 ~quick () =
+  let k = 512 in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Stats.Table.create
+      ~title:
+        "A2 (ablation): element-width dependence — trivial pays log(n/k) per element, the hashed protocols do not"
+      ~columns:[ "n"; "trivial bits/k"; "one-round bits/k"; "tree(r=2) bits/k" ]
+  in
+  List.iter
+    (fun log_n ->
+      let universe = 1 lsl log_n in
+      let row =
+        List.mapi
+          (fun i protocol ->
+            let stats =
+              measure ~trials ~table:(Printf.sprintf "A2/n%d/p%d" log_n i) ~universe ~k
+                ~overlap:(k / 2) protocol
+            in
+            cell_bits_per_k stats.bits k)
+          [ Trivial.protocol; One_round_hash.protocol (); Tree_protocol.protocol ~r:2 ~k () ]
+      in
+      Stats.Table.add_row table (Printf.sprintf "2^%d" log_n :: row))
+    [ 16; 30; 44; 58 ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* A3: ablation — bucket count (tree leaves).                          *)
+(* ------------------------------------------------------------------ *)
+
+let a3 ~quick () =
+  let k = if quick then 1024 else 4096 in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 30 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "A3 (ablation): bucket count at r=3, k=%d — the paper's k buckets vs fewer/more (Lemma 3.10's E[n_u]=O(1) needs load O(1))"
+           k)
+      ~columns:[ "buckets"; "bits (mean)"; "bits/k"; "rounds"; "exact" ]
+  in
+  List.iter
+    (fun (name, buckets) ->
+      let stats =
+        measure ~trials ~table:("A3/" ^ name) ~universe ~k ~overlap:(k / 2)
+          (Tree_protocol.protocol ~buckets ~r:3 ~k ())
+      in
+      Stats.Table.add_row table
+        [
+          name;
+          Stats.Table.cell_float stats.bits.Stats.Summary.mean;
+          cell_bits_per_k stats.bits k;
+          Stats.Table.cell_float stats.rounds.Stats.Summary.mean;
+          Stats.Table.cell_float ~decimals:2 stats.exact_rate;
+        ])
+    [ ("k/4", k / 4); ("k/2", k / 2); ("k (paper)", k); ("2k", 2 * k); ("4k", 4 * k) ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* A4: the deterministic one-round floor — gap coding vs enumerative    *)
+(* coding vs the log2 C(n,k) bound.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let a4 ~quick () =
+  let k = if quick then 128 else 512 in
+  let trials = if quick then 2 else 3 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "A4: deterministic baselines at k=%d — the enumerative codec sits on the log2 C(n,k) floor"
+           k)
+      ~columns:[ "n"; "gaps bits/k"; "entropy-coded bits/k"; "floor bits/k" ]
+  in
+  List.iter
+    (fun log_n ->
+      let universe = 1 lsl log_n in
+      let cell protocol tag =
+        let stats = measure ~trials ~table:tag ~universe ~k ~overlap:(k / 2) protocol in
+        cell_bits_per_k stats.bits k
+      in
+      (* both baselines send S and then the k/2-element intersection back,
+         so the matching information floor is log2 C(n,k) + log2 C(n,k/2) *)
+      let floor =
+        Bitio.Set_codec.log2_binomial universe k
+        +. Bitio.Set_codec.log2_binomial universe (k / 2)
+      in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "2^%d" log_n;
+          cell Trivial.protocol (Printf.sprintf "A4/gaps/n%d" log_n);
+          cell Trivial.protocol_entropy (Printf.sprintf "A4/enum/n%d" log_n);
+          Stats.Table.cell_float (floor /. float_of_int k);
+        ])
+    [ 14; 17; 20; 24 ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* A5: batch equality — the paper's sequential groups vs pipelining.    *)
+(* ------------------------------------------------------------------ *)
+
+let a5 ~quick () =
+  let sizes = if quick then [ 256; 1024 ] else [ 256; 1024; 4096 ] in
+  let table =
+    Stats.Table.create
+      ~title:
+        "A5 (ablation): Eq_batch group scheduling — FKNN-style sequential groups vs pipelined groups"
+      ~columns:
+        [ "instances"; "seq bits"; "seq rounds"; "pipelined bits"; "pipelined rounds"; "agree" ]
+  in
+  List.iter
+    (fun n ->
+      let mk_instances seed =
+        let xs =
+          Array.init n (fun i -> Bitio.Bits.of_string (Printf.sprintf "x%d/%d" seed i))
+        in
+        let ys =
+          Array.init n (fun i ->
+              if i mod 2 = 0 then xs.(i) else Bitio.Bits.of_string (Printf.sprintf "y%d/%d" seed i))
+        in
+        (xs, ys)
+      in
+      let run ~sequential seed =
+        let xs, ys = mk_instances seed in
+        let shared = rng_of ~table:(Printf.sprintf "A5/n%d" n) ~seed in
+        Commsim.Two_party.run
+          ~alice:(fun chan -> Eq_batch.run_alice ~sequential shared chan xs)
+          ~bob:(fun chan -> Eq_batch.run_bob ~sequential shared chan ys)
+      in
+      let (va, _), seq_cost = run ~sequential:true 1 in
+      let (vp, _), par_cost = run ~sequential:false 1 in
+      Stats.Table.add_row table
+        [
+          Stats.Table.cell_int n;
+          Stats.Table.cell_int seq_cost.Commsim.Cost.total_bits;
+          Stats.Table.cell_int seq_cost.Commsim.Cost.rounds;
+          Stats.Table.cell_int par_cost.Commsim.Cost.total_bits;
+          Stats.Table.cell_int par_cost.Commsim.Cost.rounds;
+          (if va = vp then "yes" else "NO");
+        ])
+    sizes;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T11: the private-coin compilation (Section 3.1).                     *)
+(* ------------------------------------------------------------------ *)
+
+let t11 ~quick () =
+  let k = if quick then 256 else 1024 in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "T11 (§3.1): private-coin compilation of tree(r=log* k) at k=%d — the in-band seed adds O(log k + log log n) bits"
+           k)
+      ~columns:[ "n"; "shared-coin bits"; "private-coin bits"; "seed bits"; "exact" ]
+  in
+  List.iter
+    (fun log_n ->
+      let universe = 1 lsl log_n in
+      let base = Tree_protocol.protocol_log_star ~k () in
+      let shared_stats =
+        measure ~trials ~table:(Printf.sprintf "T11/shared/n%d" log_n) ~universe ~k
+          ~overlap:(k / 2) base
+      in
+      let private_stats =
+        measure ~trials ~table:(Printf.sprintf "T11/private/n%d" log_n) ~universe ~k
+          ~overlap:(k / 2) (Private_coin.protocol base)
+      in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "2^%d" log_n;
+          Stats.Table.cell_float shared_stats.bits.Stats.Summary.mean;
+          Stats.Table.cell_float private_stats.bits.Stats.Summary.mean;
+          Stats.Table.cell_int (min 62 (Private_coin.seed_bits ~universe ~k));
+          Stats.Table.cell_float ~decimals:2 private_stats.exact_rate;
+        ])
+    [ 20; 40; 58 ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T12: exact intersection vs min-wise sketching [PSW14].               *)
+(* ------------------------------------------------------------------ *)
+
+let t12 ~quick () =
+  let k = if quick then 1024 else 4096 in
+  let trials = if quick then 3 else 5 in
+  let universe = 1 lsl 40 in
+  let true_j = 1.0 /. 3.0 (* overlap k/2 of two k-sets: (k/2) / (3k/2) *) in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "T12: exact protocol vs bottom-k sketches [PSW14] at k=%d, true Jaccard=1/3 — exactness is what the extra bits buy"
+           k)
+      ~columns:[ "method"; "bits (mean)"; "jaccard err (mean abs)"; "exact set?" ]
+  in
+  let sketch_row name sketch_size =
+    let bits = ref [] and errs = ref [] in
+    for seed = 1 to trials do
+      let pair = gen_pair ~table:("T12/" ^ name) ~seed ~universe ~k ~overlap:(k / 2) in
+      let (j, _), cost =
+        Apps.Sketch.exchange (rng_of ~table:("T12/" ^ name) ~seed) ~sketch_size
+          pair.Workload.Setgen.s pair.Workload.Setgen.t
+      in
+      bits := cost.Commsim.Cost.total_bits :: !bits;
+      errs := abs_float (j -. true_j) :: !errs
+    done;
+    Stats.Table.add_row table
+      [
+        name;
+        Stats.Table.cell_float (Stats.Summary.of_ints !bits).Stats.Summary.mean;
+        Stats.Table.cell_float ~decimals:4 (Stats.Summary.of_floats !errs).Stats.Summary.mean;
+        "no (estimate)";
+      ]
+  in
+  let exact_stats =
+    measure ~trials ~table:"T12/exact" ~universe ~k ~overlap:(k / 2)
+      (Tree_protocol.protocol_log_star ~k ())
+  in
+  Stats.Table.add_row table
+    [
+      "tree(r=log* k), exact";
+      Stats.Table.cell_float exact_stats.bits.Stats.Summary.mean;
+      "0.0000";
+      "yes";
+    ];
+  sketch_row "bottom-k sketch, size k/8" (k / 8);
+  sketch_row "bottom-k sketch, size k/4" (k / 4);
+  sketch_row "bottom-k sketch, size k" k;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* T13: intersection vs union — the abstract's separation.              *)
+(* ------------------------------------------------------------------ *)
+
+let t13 ~quick () =
+  let k = if quick then 512 else 2048 in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "T13: intersection vs union at k=%d — union must pay ~log(n/k)/element at any round count; intersection doesn't"
+           k)
+      ~columns:
+        [ "n"; "intersection bits/k (tree log* k)"; "union bits/k"; "union/intersection" ]
+  in
+  List.iter
+    (fun log_n ->
+      let universe = 1 lsl log_n in
+      let int_stats =
+        measure ~trials ~table:(Printf.sprintf "T13/int/n%d" log_n) ~universe ~k ~overlap:(k / 2)
+          (Tree_protocol.protocol_log_star ~k ())
+      in
+      let union_bits = ref [] in
+      for seed = 1 to trials do
+        let tag = Printf.sprintf "T13/union/n%d" log_n in
+        let pair = gen_pair ~table:tag ~seed ~universe ~k ~overlap:(k / 2) in
+        let result =
+          Apps.Union.run (rng_of ~table:tag ~seed) ~universe pair.Workload.Setgen.s
+            pair.Workload.Setgen.t
+        in
+        union_bits := result.Apps.Union.cost.Commsim.Cost.total_bits :: !union_bits
+      done;
+      let union_bits = Stats.Summary.of_ints !union_bits in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "2^%d" log_n;
+          cell_bits_per_k int_stats.bits k;
+          cell_bits_per_k union_bits k;
+          Stats.Table.cell_float ~decimals:2
+            (union_bits.Stats.Summary.mean /. int_stats.bits.Stats.Summary.mean);
+        ])
+    [ 16; 30; 44; 58 ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("T1", `Shared_t1_t2);
+    ("T2", `Shared_t1_t2);
+    ("F1", `Fn f1);
+    ("T3", `Fn t3);
+    ("T4", `Fn t4);
+    ("T5", `Fn t5);
+    ("T6", `Fn t6);
+    ("T7", `Fn t7);
+    ("T8", `Fn t8);
+    ("T9", `Fn t9);
+    ("T10", `Fn t10);
+    ("T11", `Fn t11);
+    ("T12", `Fn t12);
+    ("T13", `Fn t13);
+    ("A1", `Fn a1);
+    ("A2", `Fn a2);
+    ("A3", `Fn a3);
+    ("A4", `Fn a4);
+    ("A5", `Fn a5);
+  ]
+
+let names = List.map fst all |> List.sort_uniq compare
+
+(* Run the selected tables (all when [only] is empty) and print them. *)
+let run ~quick ~only =
+  let selected name = only = [] || List.mem name only in
+  let printed_shared = ref false in
+  List.iter
+    (fun (name, what) ->
+      if selected name then begin
+        match what with
+        | `Shared_t1_t2 ->
+            if not !printed_shared then begin
+              printed_shared := true;
+              List.iter
+                (fun table ->
+                  Stats.Table.print table;
+                  print_newline ())
+                (t1_t2 ~quick ())
+            end
+        | `Fn f ->
+            List.iter
+              (fun table ->
+                Stats.Table.print table;
+                print_newline ())
+              (f ~quick ())
+      end)
+    all

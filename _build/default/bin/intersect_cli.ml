@@ -1,0 +1,238 @@
+(* Command-line driver for the intersection protocols.
+
+   Examples:
+     intersect_cli two --protocol tree -r 3 -k 1024 --overlap 512 --trials 5
+     intersect_cli two --protocol trivial -k 256 --universe-bits 40
+     intersect_cli multi --players 16 -k 64 --flavor star
+     intersect_cli disj -k 128 --overlap 0 *)
+
+open Cmdliner
+open Intersect
+
+let protocol_of_name name ~r ~k =
+  match name with
+  | "trivial" -> Ok Trivial.protocol
+  | "full-exchange" -> Ok Trivial.protocol_full_exchange
+  | "one-round" -> Ok (One_round_hash.protocol ())
+  | "basic" -> Ok (Basic_intersection.protocol ~failure:1e-3)
+  | "bucket" -> Ok (Bucket_protocol.protocol ~k ())
+  | "tree" -> Ok (Tree_protocol.protocol ~r ~k ())
+  | "tree-log-star" -> Ok (Tree_protocol.protocol_log_star ~k ())
+  | "verified-tree" -> Ok (Verified.protocol (Tree_protocol.protocol_log_star ~k ()))
+  | _ ->
+      Error
+        (`Msg
+          "unknown protocol (try: trivial, full-exchange, one-round, basic, bucket, tree, \
+           tree-log-star, verified-tree)")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+let k_arg = Arg.(value & opt int 1024 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
+
+let universe_bits_arg =
+  Arg.(value & opt int 30 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
+
+let overlap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "overlap" ] ~docv:"O" ~doc:"Planted intersection size (default k/2).")
+
+let trials_arg = Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc:"Number of trials.")
+
+(* Message-level trace of one tree-protocol run (the protocol the trace
+   mode drives; the others hide their sessions behind Protocol.run). *)
+let print_trace ~r ~k ~universe ~overlap ~seed =
+  let rng = Prng.Rng.with_label (Prng.Rng.of_int seed) "cli-trace" in
+  let pair =
+    Workload.Setgen.pair_with_overlap
+      (Prng.Rng.with_label rng "workload")
+      ~universe ~size_s:k ~size_t:k ~overlap
+  in
+  let results, cost, trace =
+    Commsim.Network.run_traced
+      [|
+        (fun ep ->
+          Tree_protocol.run_party `Alice rng ~universe ~r ~k
+            (Commsim.Chan.of_endpoint ep ~peer:1)
+            pair.Workload.Setgen.s);
+        (fun ep ->
+          Tree_protocol.run_party `Bob rng ~universe ~r ~k
+            (Commsim.Chan.of_endpoint ep ~peer:0)
+            pair.Workload.Setgen.t);
+      |]
+  in
+  Printf.printf "message trace (tree r=%d, k=%d):\n" r k;
+  List.iteri
+    (fun i entry ->
+      Printf.printf "  #%-3d %s  round %d  %6d bits\n" (i + 1)
+        (if entry.Commsim.Network.from_ = 0 then "A->B" else "B->A")
+        entry.Commsim.Network.depth entry.Commsim.Network.bits)
+    trace;
+  Format.printf "total: %a; |result| = %d@." Commsim.Cost.pp cost (Iset.cardinal results.(0))
+
+let two_cmd =
+  let protocol_arg =
+    Arg.(value & opt string "tree-log-star" & info [ "protocol" ] ~docv:"P" ~doc:"Protocol name.")
+  in
+  let r_arg = Arg.(value & opt int 3 & info [ "r"; "stages" ] ~docv:"R" ~doc:"Stage budget for tree.") in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-message trace of one tree-protocol run.")
+  in
+  let run name r k universe_bits overlap trials seed trace =
+    if trace then begin
+      print_trace ~r ~k ~universe:(1 lsl universe_bits)
+        ~overlap:(Option.value overlap ~default:(k / 2))
+        ~seed;
+      0
+    end
+    else match protocol_of_name name ~r ~k with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok protocol ->
+        let universe = 1 lsl universe_bits in
+        let overlap = Option.value overlap ~default:(k / 2) in
+        Printf.printf "protocol=%s k=%d universe=2^%d overlap=%d trials=%d\n%!"
+          protocol.Protocol.name k universe_bits overlap trials;
+        let exact = ref 0 in
+        for trial = 1 to trials do
+          let rng = Prng.Rng.with_label (Prng.Rng.of_int (seed + trial)) "cli" in
+          let pair =
+            Workload.Setgen.pair_with_overlap
+              (Prng.Rng.with_label rng "workload")
+              ~universe ~size_s:k ~size_t:k ~overlap
+          in
+          let outcome = protocol.Protocol.run rng ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t in
+          let ok = Protocol.exact outcome ~s:pair.Workload.Setgen.s ~t:pair.Workload.Setgen.t in
+          if ok then incr exact;
+          Format.printf "  trial %d: %a  |result|=%d  %s@." trial Commsim.Cost.pp
+            outcome.Protocol.cost
+            (Iset.cardinal outcome.Protocol.alice)
+            (if ok then "exact" else "INEXACT")
+        done;
+        Printf.printf "exact: %d/%d\n" !exact trials;
+        0
+  in
+  Cmd.v
+    (Cmd.info "two" ~doc:"Run a two-party intersection protocol on generated sets.")
+    Term.(
+      const run $ protocol_arg $ r_arg $ k_arg $ universe_bits_arg $ overlap_arg $ trials_arg
+      $ seed_arg $ trace_arg)
+
+let multi_cmd =
+  let players_arg =
+    Arg.(value & opt int 8 & info [ "players" ] ~docv:"M" ~doc:"Number of players.")
+  in
+  let flavor_arg =
+    Arg.(
+      value
+      & opt (enum [ ("star", `Star); ("tournament", `Tournament) ]) `Star
+      & info [ "flavor" ] ~docv:"F" ~doc:"star (Cor 4.1) or tournament (Cor 4.2).")
+  in
+  let core_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "core" ] ~docv:"C" ~doc:"Size of the planted common core (default k/4).")
+  in
+  let run players flavor k universe_bits core seed =
+    let universe = 1 lsl universe_bits in
+    let core = Option.value core ~default:(k / 4) in
+    let rng = Prng.Rng.of_int seed in
+    let sets =
+      Workload.Setgen.family_with_core
+        (Prng.Rng.with_label rng "workload")
+        ~universe ~players ~size:k ~core
+    in
+    let result, cost =
+      match flavor with
+      | `Star -> Multiparty.Star.run (Prng.Rng.with_label rng "star") ~universe ~k sets
+      | `Tournament -> Multiparty.Tournament.run (Prng.Rng.with_label rng "tournament") ~universe ~k sets
+    in
+    let truth = Iset.inter_many (Array.to_list sets) in
+    Format.printf "m=%d k=%d core=%d: %a@." players k core Commsim.Cost.pp cost;
+    Printf.printf "avg bits/player %.0f, busiest player %d bits\n"
+      (Commsim.Cost.avg_player_bits cost)
+      (Commsim.Cost.max_player_bits cost);
+    Printf.printf "result %s (|intersection| = %d)\n"
+      (if Iset.equal result truth then "exact" else "INEXACT")
+      (Iset.cardinal result);
+    0
+  in
+  Cmd.v
+    (Cmd.info "multi" ~doc:"Run a multi-party intersection protocol.")
+    Term.(const run $ players_arg $ flavor_arg $ k_arg $ universe_bits_arg $ core_arg $ seed_arg)
+
+let disj_cmd =
+  let bits_arg =
+    Arg.(value & opt int 8 & info [ "bits-per-message" ] ~docv:"B" ~doc:"HW density knob.")
+  in
+  let run k universe_bits overlap bits seed =
+    let universe = 1 lsl universe_bits in
+    let overlap = Option.value overlap ~default:0 in
+    let rng = Prng.Rng.of_int seed in
+    let pair =
+      Workload.Setgen.pair_with_overlap
+        (Prng.Rng.with_label rng "workload")
+        ~universe ~size_s:k ~size_t:k ~overlap
+    in
+    let outcome =
+      Disjointness.hw ~bits_per_message:bits
+        (Prng.Rng.with_label rng "disj")
+        ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+    in
+    Format.printf "verdict: %s  %a@."
+      (if outcome.Disjointness.disjoint then "disjoint" else "intersecting")
+      Commsim.Cost.pp outcome.Disjointness.cost;
+    0
+  in
+  Cmd.v
+    (Cmd.info "disj" ~doc:"Run the Hastad-Wigderson-style disjointness baseline.")
+    Term.(const run $ k_arg $ universe_bits_arg $ overlap_arg $ bits_arg $ seed_arg)
+
+let similarity_cmd =
+  let sketch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sketch" ] ~docv:"S"
+          ~doc:"Also run a bottom-$(docv) min-wise sketch for comparison.")
+  in
+  let run k universe_bits overlap seed sketch =
+    let universe = 1 lsl universe_bits in
+    let overlap = Option.value overlap ~default:(k / 3) in
+    let rng = Prng.Rng.of_int seed in
+    let pair =
+      Workload.Setgen.pair_with_overlap
+        (Prng.Rng.with_label rng "workload")
+        ~universe ~size_s:k ~size_t:k ~overlap
+    in
+    let result =
+      Apps.Similarity.run (Prng.Rng.with_label rng "sim") ~universe pair.Workload.Setgen.s
+        pair.Workload.Setgen.t
+    in
+    Printf.printf "|S cap T| = %d, |S cup T| = %d\n" result.Apps.Similarity.intersection_size
+      result.Apps.Similarity.union_size;
+    Printf.printf "jaccard = %.4f, hamming = %d, 1-rarity = %.4f, 2-rarity = %.4f\n"
+      result.Apps.Similarity.jaccard result.Apps.Similarity.hamming result.Apps.Similarity.rarity1
+      result.Apps.Similarity.rarity2;
+    Format.printf "exact answer cost: %a@." Commsim.Cost.pp result.Apps.Similarity.cost;
+    (match sketch with
+    | None -> ()
+    | Some sketch_size ->
+        let (j, inter), cost =
+          Apps.Sketch.exchange
+            (Prng.Rng.with_label rng "sketch")
+            ~sketch_size pair.Workload.Setgen.s pair.Workload.Setgen.t
+        in
+        Format.printf "bottom-%d sketch: jaccard ~= %.4f, |S cap T| ~= %.0f, cost %a@."
+          sketch_size j inter Commsim.Cost.pp cost);
+    0
+  in
+  Cmd.v
+    (Cmd.info "similarity" ~doc:"Exact similarity statistics (optionally vs a min-wise sketch).")
+    Term.(const run $ k_arg $ universe_bits_arg $ overlap_arg $ seed_arg $ sketch_arg)
+
+let () =
+  let doc = "Set-intersection communication protocols (PODC'14 reproduction)." in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "intersect_cli" ~doc) [ two_cmd; multi_cmd; disj_cmd; similarity_cmd ]))

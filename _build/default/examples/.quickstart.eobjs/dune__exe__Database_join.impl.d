@@ -1,0 +1,1 @@
+examples/database_join.ml: Apps Array Bitio Commsim Format List Printf Prng String Workload

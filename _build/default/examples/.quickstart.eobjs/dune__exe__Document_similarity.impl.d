@@ -1,0 +1,1 @@
+examples/document_similarity.ml: Apps Commsim Format Iset Printf Prng Workload

@@ -1,0 +1,1 @@
+examples/incremental_sync.ml: Apps Array Commsim Iset List Printf Prng Workload

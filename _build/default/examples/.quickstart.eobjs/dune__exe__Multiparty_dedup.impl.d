@@ -1,0 +1,1 @@
+examples/multiparty_dedup.ml: Array Commsim Format Iset Multiparty Printf Prng Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitio Commsim Format Intersect Iset Prng Protocol Tree_protocol Verified

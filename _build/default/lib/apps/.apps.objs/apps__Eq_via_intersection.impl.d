@@ -1,0 +1,1 @@
+lib/apps/eq_via_intersection.ml: Array Bitio Char Intersect Iset Prng Protocol Strhash String Tree_protocol Verified

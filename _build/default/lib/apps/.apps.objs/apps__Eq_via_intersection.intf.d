@@ -1,0 +1,1 @@
+lib/apps/eq_via_intersection.mli: Commsim Intersect Prng

@@ -1,0 +1,1 @@
+lib/apps/incremental.ml: Array Basic_intersection Bitio Commsim Equality Hashtbl Intersect Iset Iterated_log List Printf Prng Protocol Strhash Tree_protocol Verified Wire

@@ -1,0 +1,1 @@
+lib/apps/incremental.mli: Commsim Intersect Iset Prng

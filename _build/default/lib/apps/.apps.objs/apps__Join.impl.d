@@ -1,0 +1,1 @@
+lib/apps/join.ml: Array Bitio Char Commsim Hashtbl Intersect Iset List Protocol String Tree_protocol Verified

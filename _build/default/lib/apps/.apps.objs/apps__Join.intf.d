@@ -1,0 +1,1 @@
+lib/apps/join.mli: Commsim Intersect Prng

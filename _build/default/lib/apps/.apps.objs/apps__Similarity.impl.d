@@ -1,0 +1,1 @@
+lib/apps/similarity.ml: Array Commsim Intersect Iset Protocol Tree_protocol Verified Wire

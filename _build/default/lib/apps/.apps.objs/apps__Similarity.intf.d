@@ -1,0 +1,1 @@
+lib/apps/similarity.mli: Commsim Intersect Iset Prng

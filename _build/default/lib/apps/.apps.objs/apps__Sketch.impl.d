@@ -1,0 +1,1 @@
+lib/apps/sketch.ml: Array Bitio Commsim Intersect Iset Prng Strhash

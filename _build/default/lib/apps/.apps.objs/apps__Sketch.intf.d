@@ -1,0 +1,1 @@
+lib/apps/sketch.mli: Bitio Commsim Iset Prng

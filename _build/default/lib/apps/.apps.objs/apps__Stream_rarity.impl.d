@@ -1,0 +1,1 @@
+lib/apps/stream_rarity.ml: Array Commsim Iset List Printf Prng Similarity

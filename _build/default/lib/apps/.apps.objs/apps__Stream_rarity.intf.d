@@ -1,0 +1,1 @@
+lib/apps/stream_rarity.mli: Commsim Intersect Prng

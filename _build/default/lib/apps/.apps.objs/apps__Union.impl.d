@@ -1,0 +1,1 @@
+lib/apps/union.ml: Array Bitio Commsim Intersect Iset List Protocol Wire

@@ -1,0 +1,1 @@
+lib/apps/union.mli: Commsim Iset Prng

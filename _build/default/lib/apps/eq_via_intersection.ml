@@ -1,0 +1,36 @@
+open Intersect
+
+let fingerprint_bits = 44
+
+let run ?protocol rng xs ys =
+  let k = Array.length xs in
+  if Array.length ys <> k then invalid_arg "Eq_via_intersection.run: arity mismatch";
+  if k > 1 lsl 16 then invalid_arg "Eq_via_intersection.run: too many instances";
+  let protocol = match protocol with Some p -> p | None -> Verified.protocol (Tree_protocol.protocol_log_star ()) in
+  let universe = max 2 (k * (1 lsl fingerprint_bits)) in
+  let encode i s =
+    (* Short strings embed exactly; longer ones go through the shared
+       fingerprint (one-sided error, see interface). *)
+    let fp =
+      if 8 * String.length s <= fingerprint_bits then begin
+        let v = ref 0 in
+        String.iteri (fun pos c -> v := !v lor (Char.code c lsl (8 * pos))) s;
+        (* disambiguate "\000" from "" by length tagging in the low bits of
+           a shifted value: exact embedding needs length too *)
+        !v lxor (String.length s lsl (fingerprint_bits - 4))
+      end
+      else begin
+        let fn =
+          Strhash.create (Prng.Rng.with_label rng "eqk/fingerprint") ~bits:fingerprint_bits
+        in
+        let tag = Strhash.apply fn (Bitio.Bits.of_string s) in
+        Bitio.Bitreader.read_bits (Bitio.Bitreader.create tag) ~width:fingerprint_bits
+      end
+    in
+    (i * (1 lsl fingerprint_bits)) + (fp land ((1 lsl fingerprint_bits) - 1))
+  in
+  let s = Iset.of_array (Array.mapi encode xs) in
+  let t = Iset.of_array (Array.mapi encode ys) in
+  let outcome = protocol.Protocol.run rng ~universe s t in
+  let answers = Array.mapi (fun i x -> Iset.mem outcome.Protocol.alice (encode i x)) xs in
+  (answers, outcome.Protocol.cost)

@@ -1,0 +1,18 @@
+(** Fact 2.1: solving [EQ^n_k] (k independent string-equality instances)
+    through an intersection protocol.
+
+    Instance [(i, x_i)] becomes the universe element [i * 2^f + fp(x_i)]
+    where [fp] is a shared 44-bit fingerprint of the string; the [i]-th
+    answer is whether that element survives in [S ∩ T].  The fingerprint
+    step extends the reduction to strings of arbitrary length at an extra
+    (one-sided) error of [k * 2^-44]; with [n <= 44] the raw bits are used
+    and the reduction is exact, as in the paper. *)
+
+(** [run ?protocol rng xs ys] — both arrays must have the same length
+    [k <= 2^16].  Returns the equality vector and the cost. *)
+val run :
+  ?protocol:Intersect.Protocol.t ->
+  Prng.Rng.t ->
+  string array ->
+  string array ->
+  bool array * Commsim.Cost.t

@@ -1,0 +1,48 @@
+(** Incremental intersection maintenance.
+
+    Databases don't recompute joins from scratch: after one full
+    intersection run, each side's set evolves by inserts and deletes, and
+    the parties re-synchronize [S ∩ T] by communicating about {e changes}
+    only.  Per batch the cost is [O(|ΔS| + |ΔT|)] tag bits plus a constant
+    verification overhead — independent of [k] — because an element's
+    membership in the intersection can only change if one of the sides
+    touched it or its counterpart.
+
+    Mechanics per batch: both parties exchange tag lists of their inserted
+    and deleted elements (fresh shared hash per batch); a removed element
+    leaves the candidate intersection when either side deletes it; an
+    inserted element joins when its tag appears on the other side (in the
+    other party's current set or inserts).  A final equality test over the
+    updated candidates certifies the sync (verify-and-repair with a full
+    re-run on failure, which has vanishing probability). *)
+
+type party = private {
+  current : Iset.t;  (** this side's current set *)
+  candidate : Iset.t;  (** this side's view of the intersection *)
+}
+
+type update = { inserts : Iset.t; deletes : Iset.t }
+
+(** [start ?protocol rng ~universe s t] runs the initial full protocol.
+    Returns both parties' states and the cost. *)
+val start :
+  ?protocol:Intersect.Protocol.t ->
+  Prng.Rng.t ->
+  universe:int ->
+  Iset.t ->
+  Iset.t ->
+  party * party * Commsim.Cost.t
+
+(** [sync rng ~universe ~batch alice bob ~alice_update ~bob_update] applies
+    one update batch on each side and re-synchronizes the candidates.
+    [batch] must be distinct across calls (it labels the randomness).
+    Returns the new states and the incremental cost. *)
+val sync :
+  Prng.Rng.t ->
+  universe:int ->
+  batch:int ->
+  party ->
+  party ->
+  alice_update:update ->
+  bob_update:update ->
+  party * party * Commsim.Cost.t

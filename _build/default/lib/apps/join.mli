@@ -1,0 +1,25 @@
+(** Distributed equi-join — the paper's headline database application
+    ("computing the join of two databases held by different servers,
+    requires computing an intersection").
+
+    Each server holds a table keyed by a primary key drawn from a shared id
+    space.  The servers first find the common keys with an intersection
+    protocol ([O(k)] bits instead of shipping a table), then exchange
+    payloads for exactly the matching rows — communication proportional to
+    the {e output} size, which is optimal. *)
+
+type row = { key : int; payload : string }
+
+type joined = { key : int; left : string; right : string }
+
+(** [run ?protocol rng ~universe ~left ~right] joins on [key]; keys must be
+    unique within each table.  Both servers learn the joined rows; they are
+    returned sorted by key, with the total cost (intersection phase plus
+    payload exchange). *)
+val run :
+  ?protocol:Intersect.Protocol.t ->
+  Prng.Rng.t ->
+  universe:int ->
+  left:row array ->
+  right:row array ->
+  joined list * Commsim.Cost.t

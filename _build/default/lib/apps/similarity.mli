@@ -1,0 +1,37 @@
+(** The statistics the paper derives from an intersection protocol
+    (Introduction / "Applications"): once [S ∩ T] is known exactly and the
+    sizes [|S|, |T|] have been exchanged (one extra round, [O(log k)] bits),
+    the parties both know the exact
+
+    - intersection and union sizes,
+    - Jaccard similarity [|S ∩ T| / |S ∪ T|],
+    - Hamming distance between characteristic vectors,
+    - number of distinct elements across both sides,
+    - 1-rarity and 2-rarity in the two-party sense of [DM02]
+      (fraction of distinct elements occurring in exactly one / exactly
+      both of the sets).
+
+    All of this therefore inherits the [O(k)]-bit / [O(log* k)]-round
+    trade-off of Theorem 1.1. *)
+
+type result = {
+  intersection : Iset.t;
+  intersection_size : int;
+  union_size : int;
+  distinct : int;  (** distinct elements over both inputs = union size *)
+  jaccard : float;  (** 1.0 when both sets are empty, by convention *)
+  hamming : int;
+  rarity1 : float;  (** fraction of distinct elements in exactly one set *)
+  rarity2 : float;  (** fraction of distinct elements in both sets *)
+  cost : Commsim.Cost.t;
+}
+
+(** [run ?protocol rng ~universe s t]; [protocol] defaults to the
+    [r = log* k] tree protocol wrapped in verification. *)
+val run :
+  ?protocol:Intersect.Protocol.t ->
+  Prng.Rng.t ->
+  universe:int ->
+  Iset.t ->
+  Iset.t ->
+  result

@@ -1,0 +1,32 @@
+type step = { position : int; rarity1 : float; rarity2 : float; jaccard : float }
+
+type result = { steps : step list; cost : Commsim.Cost.t }
+
+let window_set stream ~position ~window =
+  Iset.of_array (Array.sub stream position window)
+
+let run ?protocol ?stride rng ~universe ~window left right =
+  if window < 1 then invalid_arg "Stream_rarity.run: window";
+  if Array.length left <> Array.length right then invalid_arg "Stream_rarity.run: stream lengths";
+  if Array.length left < window then invalid_arg "Stream_rarity.run: stream shorter than window";
+  let stride = match stride with Some s -> max 1 s | None -> max 1 (window / 2) in
+  let steps = ref [] in
+  let cost = ref (Commsim.Cost.zero ~players:2) in
+  let position = ref 0 in
+  while !position + window <= Array.length left do
+    let s = window_set left ~position:!position ~window in
+    let t = window_set right ~position:!position ~window in
+    let step_rng = Prng.Rng.with_label rng (Printf.sprintf "rarity/step%d" !position) in
+    let r = Similarity.run ?protocol step_rng ~universe s t in
+    steps :=
+      {
+        position = !position;
+        rarity1 = r.Similarity.rarity1;
+        rarity2 = r.Similarity.rarity2;
+        jaccard = r.Similarity.jaccard;
+      }
+      :: !steps;
+    cost := Commsim.Cost.add_seq !cost r.Similarity.cost;
+    position := !position + stride
+  done;
+  { steps = List.rev !steps; cost = !cost }

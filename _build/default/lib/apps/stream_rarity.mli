@@ -1,0 +1,31 @@
+(** Rarity over sliding data-stream windows — the Datar–Muthukrishnan
+    [DM02] application the paper cites for exact 1-/2-rarity.
+
+    Two servers each observe a stream of element ids.  At every stride the
+    current length-[window] windows are reduced to their distinct-element
+    sets and one intersection-protocol run computes the exact 1-rarity
+    (fraction of the combined window's distinct elements seen by exactly
+    one server) and 2-rarity (seen by both).  Costs accumulate
+    sequentially across steps. *)
+
+type step = {
+  position : int;  (** start index of the window *)
+  rarity1 : float;
+  rarity2 : float;
+  jaccard : float;
+}
+
+type result = { steps : step list; cost : Commsim.Cost.t }
+
+(** [run ?protocol ?stride rng ~universe ~window left right] slides windows
+    of [window] elements ([stride] defaults to [window / 2]) over two
+    equal-length streams. *)
+val run :
+  ?protocol:Intersect.Protocol.t ->
+  ?stride:int ->
+  Prng.Rng.t ->
+  universe:int ->
+  window:int ->
+  int array ->
+  int array ->
+  result

@@ -1,0 +1,1 @@
+lib/bitio/bignat.ml: Array Buffer Char Codes Format Stdlib String

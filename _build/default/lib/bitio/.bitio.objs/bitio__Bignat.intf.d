@@ -1,0 +1,1 @@
+lib/bitio/bignat.mli: Format

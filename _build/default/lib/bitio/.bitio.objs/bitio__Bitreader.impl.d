@@ -1,0 +1,1 @@
+lib/bitio/bitreader.ml: Bits Bytes Char

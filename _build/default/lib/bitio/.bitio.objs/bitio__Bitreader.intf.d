@@ -1,0 +1,1 @@
+lib/bitio/bitreader.mli: Bits

@@ -1,0 +1,1 @@
+lib/bitio/bits.ml: Bytes Char Format List String

@@ -1,0 +1,1 @@
+lib/bitio/bits.mli: Format

@@ -1,0 +1,1 @@
+lib/bitio/codes.mli: Bitbuf Bitreader

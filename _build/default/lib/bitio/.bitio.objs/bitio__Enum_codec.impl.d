@@ -1,0 +1,1 @@
+lib/bitio/enum_codec.ml: Array Bignat Bitbuf Bitreader Codes Set_codec

@@ -1,0 +1,1 @@
+lib/bitio/enum_codec.mli: Bitbuf Bitreader

@@ -1,0 +1,1 @@
+lib/bitio/set_codec.mli: Bitbuf Bitreader

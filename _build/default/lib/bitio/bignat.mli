@@ -1,0 +1,46 @@
+(** Minimal arbitrary-precision naturals, just enough for the enumerative
+    set codec ({!Enum_codec}): binomial coefficients via the multiplicative
+    formula and rank arithmetic in the combinatorial number system.
+
+    Values are immutable.  Little-endian limbs in base [2^26] (products and
+    carries stay inside OCaml's 63-bit native ints). *)
+
+type t
+
+val zero : t
+val one : t
+
+(** [of_int n] for [n >= 0]. *)
+val of_int : int -> t
+
+(** [to_int t] if it fits in a native int. *)
+val to_int_opt : t -> int option
+
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val add : t -> t -> t
+
+(** [sub a b] requires [a >= b]. *)
+val sub : t -> t -> t
+
+(** [mul_small t x] for [0 <= x < 2^26]. *)
+val mul_small : t -> int -> t
+
+(** [div_small t x] for [1 <= x < 2^26]; returns quotient and remainder. *)
+val div_small : t -> int -> t * int
+
+(** Number of bits ([0] for zero). *)
+val bit_length : t -> int
+
+(** [bit t i] is bit [i]. *)
+val bit : t -> int -> bool
+
+(** [of_bits f ~width] builds the value with bit [i] = [f i]. *)
+val of_bits : (int -> bool) -> width:int -> t
+
+(** [binomial n k] = C(n, k), exactly; zero when [k < 0] or [k > n].
+    Requires [0 <= n < 2^26]. *)
+val binomial : int -> int -> t
+
+val pp : Format.formatter -> t -> unit

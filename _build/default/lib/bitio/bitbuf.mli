@@ -1,0 +1,23 @@
+(** Growable bit-level writer used to assemble message payloads. *)
+
+type t
+
+(** [create ?capacity ()] is an empty writer.  [capacity] is a size hint in
+    bits. *)
+val create : ?capacity:int -> unit -> t
+
+(** Number of bits written so far. *)
+val length : t -> int
+
+val write_bit : t -> bool -> unit
+
+(** [write_bits t ~width v] appends the [width] low bits of [v], least
+    significant first.  [width] must be in [0, 62] and [v] must fit, i.e.
+    [0 <= v < 2^width].  Raises [Invalid_argument] otherwise. *)
+val write_bits : t -> width:int -> int -> unit
+
+(** [append t bits] appends a whole bit vector. *)
+val append : t -> Bits.t -> unit
+
+(** Freeze the contents written so far.  The writer remains usable. *)
+val contents : t -> Bits.t

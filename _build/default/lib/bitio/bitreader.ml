@@ -1,0 +1,56 @@
+type t = { bits : Bits.t; mutable position : int }
+
+exception Underflow
+
+let create bits = { bits; position = 0 }
+
+let position t = t.position
+
+let remaining t = Bits.length t.bits - t.position
+
+let read_bit t =
+  if t.position >= Bits.length t.bits then raise Underflow;
+  let bit = Bits.get t.bits t.position in
+  t.position <- t.position + 1;
+  bit
+
+let read_chunk t ~width =
+  (* width <= 24, bounds already checked by callers *)
+  let v = Bits.extract t.bits ~pos:t.position ~width in
+  t.position <- t.position + width;
+  v
+
+let read_bits t ~width =
+  if width < 0 || width > 62 then invalid_arg "Bitreader.read_bits: width";
+  if t.position + width > Bits.length t.bits then raise Underflow;
+  let rec loop shift acc =
+    if shift >= width then acc
+    else begin
+      let take = min 24 (width - shift) in
+      loop (shift + take) (acc lor (read_chunk t ~width:take lsl shift))
+    end
+  in
+  loop 0 0
+
+let read_blob t ~bits =
+  if bits < 0 then invalid_arg "Bitreader.read_blob: bits";
+  if t.position + bits > Bits.length t.bits then raise Underflow;
+  let buf = Bytes.make ((bits + 7) / 8) '\000' in
+  let pos = ref 0 in
+  while !pos < bits do
+    let take = min 24 (bits - !pos) in
+    let v = read_chunk t ~width:take in
+    (* scatter the chunk into the destination, byte-aligned there *)
+    let rec put dst v width =
+      if width > 0 then begin
+        let j = dst lsr 3 and off = dst land 7 in
+        let bite = min width (8 - off) in
+        let cur = Char.code (Bytes.get buf j) in
+        Bytes.set buf j (Char.chr (cur lor (((v land ((1 lsl bite) - 1)) lsl off) land 0xFF)));
+        put (dst + bite) (v lsr bite) (width - bite)
+      end
+    in
+    put !pos v take;
+    pos := !pos + take
+  done;
+  Bits.unsafe_of_bytes buf ~length:bits

@@ -1,0 +1,25 @@
+(** Sequential reader over a {!Bits.t} payload. *)
+
+type t
+
+exception Underflow
+(** Raised when reading past the end of the payload. *)
+
+val create : Bits.t -> t
+
+(** Bits consumed so far. *)
+val position : t -> int
+
+(** Bits left to read. *)
+val remaining : t -> int
+
+val read_bit : t -> bool
+
+(** [read_bits t ~width] reads [width] bits (least significant first) written
+    by {!Bitbuf.write_bits} with the same width.  [width] must be in
+    [0, 62]. *)
+val read_bits : t -> width:int -> int
+
+(** [read_blob t ~bits] reads the next [bits] bits as an opaque bit vector
+    (e.g. a hash tag of arbitrary width). *)
+val read_blob : t -> bits:int -> Bits.t

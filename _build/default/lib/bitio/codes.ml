@@ -1,0 +1,84 @@
+let bit_width v =
+  if v < 1 then invalid_arg "Codes.bit_width";
+  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc + 1) in
+  loop v 0
+
+let write_unary buf n =
+  if n < 0 then invalid_arg "Codes.write_unary";
+  for _ = 1 to n do
+    Bitbuf.write_bit buf true
+  done;
+  Bitbuf.write_bit buf false
+
+let read_unary r =
+  let rec loop acc = if Bitreader.read_bit r then loop (acc + 1) else acc in
+  loop 0
+
+(* Gamma of n >= 0 encodes m = n + 1: unary (width - 1), then the low
+   (width - 1) bits of m. *)
+let write_gamma buf n =
+  if n < 0 then invalid_arg "Codes.write_gamma";
+  let m = n + 1 in
+  let w = bit_width m in
+  write_unary buf (w - 1);
+  Bitbuf.write_bits buf ~width:(w - 1) (m land ((1 lsl (w - 1)) - 1))
+
+let read_gamma r =
+  let w = read_unary r + 1 in
+  let low = Bitreader.read_bits r ~width:(w - 1) in
+  (low lor (1 lsl (w - 1))) - 1
+
+(* Delta of n >= 0 encodes m = n + 1: gamma of (width - 1), then the low
+   (width - 1) bits of m. *)
+let write_delta buf n =
+  if n < 0 then invalid_arg "Codes.write_delta";
+  let m = n + 1 in
+  let w = bit_width m in
+  write_gamma buf (w - 1);
+  Bitbuf.write_bits buf ~width:(w - 1) (m land ((1 lsl (w - 1)) - 1))
+
+let read_delta r =
+  let w = read_gamma r + 1 in
+  let low = Bitreader.read_bits r ~width:(w - 1) in
+  (low lor (1 lsl (w - 1))) - 1
+
+let write_rice buf ~k n =
+  if n < 0 || k < 0 then invalid_arg "Codes.write_rice";
+  write_unary buf (n lsr k);
+  Bitbuf.write_bits buf ~width:k (n land ((1 lsl k) - 1))
+
+let read_rice r ~k =
+  let q = read_unary r in
+  let rem = Bitreader.read_bits r ~width:k in
+  (q lsl k) lor rem
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Codes.write_varint";
+  let rec loop n =
+    if n < 128 then Bitbuf.write_bits buf ~width:8 n
+    else begin
+      Bitbuf.write_bits buf ~width:8 (128 lor (n land 127));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let read_varint r =
+  let rec loop shift acc =
+    let b = Bitreader.read_bits r ~width:8 in
+    let acc = acc lor ((b land 127) lsl shift) in
+    if b land 128 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let gamma_cost n = (2 * bit_width (n + 1)) - 1
+
+let delta_cost n =
+  let w = bit_width (n + 1) in
+  gamma_cost (w - 1) + (w - 1)
+
+let rice_cost ~k n = (n lsr k) + 1 + k
+
+let varint_cost n =
+  let rec loop n acc = if n < 128 then acc + 8 else loop (n lsr 7) (acc + 8) in
+  loop n 0

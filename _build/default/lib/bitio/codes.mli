@@ -1,0 +1,45 @@
+(** Self-delimiting integer codes.
+
+    These are the concrete encodings behind every "O(log x) bits" step in the
+    protocols, so that measured communication is an honest bit count.  All
+    encoders take non-negative arguments; the Elias codes internally shift by
+    one to admit zero. *)
+
+(** [bit_width v] is the number of bits in the binary representation of
+    [v >= 1], i.e. [floor (log2 v) + 1]. *)
+val bit_width : int -> int
+
+(** Unary: [n] is written as [n] one bits followed by a zero ([n + 1] bits). *)
+val write_unary : Bitbuf.t -> int -> unit
+
+val read_unary : Bitreader.t -> int
+
+(** Elias gamma code of [n >= 0] ([2 * bit_width (n+1) - 1] bits). *)
+val write_gamma : Bitbuf.t -> int -> unit
+
+val read_gamma : Bitreader.t -> int
+
+(** Elias delta code of [n >= 0]; asymptotically
+    [log n + O(log log n)] bits. *)
+val write_delta : Bitbuf.t -> int -> unit
+
+val read_delta : Bitreader.t -> int
+
+(** Golomb–Rice with parameter [k]: quotient in unary, remainder in [k]
+    bits.  Near-optimal for geometrically distributed values with mean
+    around [2^k]. *)
+val write_rice : Bitbuf.t -> k:int -> int -> unit
+
+val read_rice : Bitreader.t -> k:int -> int
+
+(** LEB128-style varint: 7 value bits + 1 continuation bit per group. *)
+val write_varint : Bitbuf.t -> int -> unit
+
+val read_varint : Bitreader.t -> int
+
+(** Number of bits each code spends on a value, without writing it. *)
+val gamma_cost : int -> int
+
+val delta_cost : int -> int
+val rice_cost : k:int -> int -> int
+val varint_cost : int -> int

@@ -1,0 +1,1 @@
+lib/commsim/chan.ml: Bitio List Network Queue

@@ -1,0 +1,1 @@
+lib/commsim/chan.mli: Bitio Network

@@ -1,0 +1,1 @@
+lib/commsim/cost.ml: Array Format

@@ -1,0 +1,1 @@
+lib/commsim/cost.mli: Format

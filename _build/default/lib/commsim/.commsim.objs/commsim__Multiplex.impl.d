@@ -1,0 +1,1 @@
+lib/commsim/multiplex.ml: Array Bitio Chan Effect Hashtbl List Network Queue

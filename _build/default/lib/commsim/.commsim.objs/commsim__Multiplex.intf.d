@@ -1,0 +1,1 @@
+lib/commsim/multiplex.mli: Chan Network

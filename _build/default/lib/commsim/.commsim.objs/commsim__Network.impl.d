@@ -1,0 +1,1 @@
+lib/commsim/network.ml: Array Bitio Cost Effect List Printf Queue

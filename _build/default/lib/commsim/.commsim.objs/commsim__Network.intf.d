@@ -1,0 +1,1 @@
+lib/commsim/network.mli: Bitio Cost

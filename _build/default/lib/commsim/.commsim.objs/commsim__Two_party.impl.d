@@ -1,0 +1,1 @@
+lib/commsim/two_party.ml: Chan Network

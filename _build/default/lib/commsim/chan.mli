@@ -1,0 +1,24 @@
+(** A bidirectional channel to one fixed peer.
+
+    Protocol implementations are written against this record so the same
+    code runs standalone between two parties ({!Two_party.run}) and embedded
+    inside an m-player execution (a pair of {!Network} endpoints). *)
+
+type t = { send : Bitio.Bits.t -> unit; recv : unit -> Bitio.Bits.t }
+
+(** [of_endpoint ep ~peer] views the network endpoint [ep] as a channel to
+    player [peer]. *)
+val of_endpoint : Network.endpoint -> peer:int -> t
+
+(** [loopback ()] is a pair of channels plumbed back to back with a
+    same-thread queue; useful in unit tests of message-level codecs.  No
+    cost accounting, and [recv] on an empty queue raises [Failure]. *)
+val loopback : unit -> t * t
+
+(** [tamper ?flip_bit ?drop_nth chan] wraps a channel with fault injection
+    for robustness tests: [flip_bit (message_index, payload_length)]
+    returns the bit to corrupt in that outgoing message (or [None]);
+    [drop_nth] silently discards that outgoing message (0-based).
+    Incoming traffic is untouched. *)
+val tamper :
+  ?flip_bit:(int -> int -> int option) -> ?drop_nth:int -> t -> t

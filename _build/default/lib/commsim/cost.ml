@@ -1,0 +1,41 @@
+type player = { sent_bits : int; received_bits : int; sent_messages : int }
+
+type t = {
+  players : player array;
+  total_bits : int;
+  messages : int;
+  rounds : int;
+}
+
+let zero_player = { sent_bits = 0; received_bits = 0; sent_messages = 0 }
+
+let add_seq a b =
+  if Array.length a.players <> Array.length b.players then invalid_arg "Cost.add_seq: player counts";
+  {
+    players =
+      Array.map2
+        (fun p q ->
+          {
+            sent_bits = p.sent_bits + q.sent_bits;
+            received_bits = p.received_bits + q.received_bits;
+            sent_messages = p.sent_messages + q.sent_messages;
+          })
+        a.players b.players;
+    total_bits = a.total_bits + b.total_bits;
+    messages = a.messages + b.messages;
+    rounds = a.rounds + b.rounds;
+  }
+
+let zero ~players =
+  { players = Array.make players zero_player; total_bits = 0; messages = 0; rounds = 0 }
+
+let max_player_bits t =
+  Array.fold_left (fun acc p -> max acc (p.sent_bits + p.received_bits)) 0 t.players
+
+let avg_player_bits t =
+  if Array.length t.players = 0 then 0.0
+  else float_of_int t.total_bits /. float_of_int (Array.length t.players)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%d bits, %d messages, %d rounds (%d players)@]" t.total_bits
+    t.messages t.rounds (Array.length t.players)

@@ -1,0 +1,43 @@
+(** Communication-cost accounting shared by the two-party and message-passing
+    simulators.
+
+    Bits are exact payload lengths.  Rounds are measured as the length of the
+    longest chain of causally dependent messages ("virtual time"): a message
+    depends on every message its sender had received before sending it.  For
+    strictly alternating two-party protocols this equals the number of
+    messages; batched same-direction messages share a round, matching how the
+    paper counts rounds for protocols that run sub-protocols "in parallel". *)
+
+type player = {
+  sent_bits : int;
+  received_bits : int;
+  sent_messages : int;
+}
+
+type t = {
+  players : player array;
+  total_bits : int;  (** sum of payload lengths over all messages *)
+  messages : int;  (** number of individual messages *)
+  rounds : int;  (** longest dependency chain *)
+}
+
+val zero_player : player
+
+(** [add_seq a b] is the cost of running the execution [a] followed by the
+    execution [b] between the same players: bits, messages and per-player
+    tallies add, and rounds add because phase [b] starts only after phase
+    [a] finished.  The player counts must agree. *)
+val add_seq : t -> t -> t
+
+(** A zero cost for [n] players (unit of {!add_seq}). *)
+val zero : players:int -> t
+
+(** Maximum of [sent_bits + received_bits] over players — the "worst-case
+    communication per player" of Corollary 4.2. *)
+val max_player_bits : t -> int
+
+(** [total_bits / number of players] — the "average communication per
+    player" of Corollary 4.1 (counting each payload once, at the sender). *)
+val avg_player_bits : t -> float
+
+val pp : Format.formatter -> t -> unit

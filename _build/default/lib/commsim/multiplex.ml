@@ -1,0 +1,70 @@
+open Effect
+open Effect.Deep
+
+type payload = Bitio.Bits.t
+
+type _ Effect.t += Sub_recv : int -> payload Effect.t
+
+let run ep sessions =
+  let peers = List.map fst sessions in
+  let distinct = List.sort_uniq compare peers in
+  if List.length distinct <> List.length peers then
+    invalid_arg "Multiplex.run: duplicate peer sessions";
+  let n = List.length sessions in
+  let results = Array.make n None in
+  let parked : (int, (payload, unit) continuation) Hashtbl.t = Hashtbl.create n in
+  let buffered : (int, payload Queue.t) Hashtbl.t = Hashtbl.create n in
+  let pending = ref n in
+  let buffer_pop peer =
+    match Hashtbl.find_opt buffered peer with
+    | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+    | _ -> None
+  in
+  let chan_for peer =
+    {
+      Chan.send = (fun p -> Network.send ep ~to_:peer p);
+      recv = (fun () -> perform (Sub_recv peer));
+    }
+  in
+  let start idx (peer, fn) () =
+    match_with
+      (fun () -> results.(idx) <- Some (fn (chan_for peer)))
+      ()
+      {
+        retc = (fun () -> decr pending);
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | Sub_recv peer ->
+                Some
+                  (fun (k : (c, unit) continuation) ->
+                    match buffer_pop peer with
+                    | Some p -> continue k p
+                    | None -> Hashtbl.replace parked peer k)
+            | _ -> None (* network effects pass through to the scheduler *));
+      }
+  in
+  List.iteri (fun idx session -> start idx session ()) sessions;
+  while !pending > 0 do
+    let sender, payload = Network.recv_any ep in
+    match Hashtbl.find_opt parked sender with
+    | Some k ->
+        Hashtbl.remove parked sender;
+        continue k payload
+    | None ->
+        (* No session waiting: either its session is finished (drop by
+           burying in the buffer) or it will ask later. *)
+        let q =
+          match Hashtbl.find_opt buffered sender with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace buffered sender q;
+              q
+        in
+        Queue.add payload q
+  done;
+  List.mapi
+    (fun idx _ -> match results.(idx) with Some r -> r | None -> assert false)
+    sessions

@@ -1,0 +1,18 @@
+(** Concurrent peer conversations inside a single player.
+
+    A coordinator in the message-passing model talks to many peers at once
+    (Corollary 4.1: one two-party protocol per group member).  Running those
+    conversations one after another would serialize their round chains; this
+    multiplexer runs each conversation as a nested coroutine and blocks only
+    on {!Network.recv_any}, so independent conversations overlap exactly as
+    the model intends and round accounting stays honest.
+
+    Each session gets a {!Chan.t} to its peer.  Sends go out immediately;
+    receives park the session until a message from that peer arrives.  At
+    most one session per peer. *)
+
+(** [run ep sessions] drives all sessions to completion and returns their
+    results in input order.  Messages that arrive from a peer whose session
+    already finished are dropped (they were metered at send time, like any
+    unreceived message). *)
+val run : Network.endpoint -> (int * (Chan.t -> 'a)) list -> 'a list

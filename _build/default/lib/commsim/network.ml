@@ -1,0 +1,186 @@
+open Effect
+open Effect.Deep
+
+type payload = Bitio.Bits.t
+
+type _ Effect.t +=
+  | Send_eff : int * payload -> unit Effect.t
+  | Recv_eff : int -> payload Effect.t
+  | Recv_any_eff : (int * payload) Effect.t
+
+type status =
+  | Runnable
+  | Blocked of (payload, unit) continuation * int (* waiting for this sender *)
+  | Blocked_any of (int * payload, unit) continuation
+  | Finished
+
+type player_state = {
+  rank : int;
+  size : int;
+  inboxes : (payload * int) Queue.t array; (* (payload, depth), indexed by sender *)
+  mutable clock : int;
+  mutable status : status;
+  mutable sent_bits : int;
+  mutable received_bits : int;
+  mutable sent_messages : int;
+}
+
+type endpoint = player_state
+
+let rank ep = ep.rank
+let size ep = ep.size
+
+let send ep ~to_ payload =
+  if to_ < 0 || to_ >= ep.size then invalid_arg "Network.send: rank out of range";
+  if to_ = ep.rank then invalid_arg "Network.send: self-send";
+  perform (Send_eff (to_, payload))
+
+let recv ep ~from_ =
+  if from_ < 0 || from_ >= ep.size then invalid_arg "Network.recv: rank out of range";
+  if from_ = ep.rank then invalid_arg "Network.recv: self-recv";
+  perform (Recv_eff from_)
+
+let recv_any _ep = perform Recv_any_eff
+
+exception Deadlock of string
+
+type trace_entry = { from_ : int; to_ : int; bits : int; depth : int }
+
+let run_with ~trace players =
+  let m = Array.length players in
+  if m < 2 then invalid_arg "Network.run: need at least two players";
+  let states =
+    Array.init m (fun rank ->
+        {
+          rank;
+          size = m;
+          inboxes = Array.init m (fun _ -> Queue.create ());
+          clock = 0;
+          status = Runnable;
+          sent_bits = 0;
+          received_bits = 0;
+          sent_messages = 0;
+        })
+  in
+  let results = Array.make m None in
+  let runnable : (unit -> unit) Queue.t = Queue.create () in
+  let rounds = ref 0 and total_bits = ref 0 and messages = ref 0 in
+  let entries = ref [] in
+  let consume st from_ =
+    let payload, depth = Queue.pop st.inboxes.(from_) in
+    st.clock <- max st.clock depth;
+    st.received_bits <- st.received_bits + Bitio.Bits.length payload;
+    payload
+  in
+  let first_nonempty_inbox st =
+    let rec scan from_ =
+      if from_ >= m then None
+      else if not (Queue.is_empty st.inboxes.(from_)) then Some from_
+      else scan (from_ + 1)
+    in
+    scan 0
+  in
+  (* Wake-ups can go stale (two sends queue two wakes but the first one lets
+     the player move on), so a wake re-checks the condition before resuming. *)
+  let try_resume st =
+    match st.status with
+    | Blocked (k, from_) when not (Queue.is_empty st.inboxes.(from_)) ->
+        st.status <- Runnable;
+        continue k (consume st from_)
+    | Blocked_any k -> begin
+        match first_nonempty_inbox st with
+        | Some from_ ->
+            st.status <- Runnable;
+            continue k (from_, consume st from_)
+        | None -> ()
+      end
+    | Blocked _ | Runnable | Finished -> ()
+  in
+  let start st rank () =
+    match_with (players.(rank)) st
+      {
+        retc =
+          (fun r ->
+            results.(rank) <- Some r;
+            st.status <- Finished);
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | Send_eff (to_, payload) ->
+                Some
+                  (fun (k : (c, unit) continuation) ->
+                    let depth = st.clock + 1 in
+                    let len = Bitio.Bits.length payload in
+                    rounds := max !rounds depth;
+                    total_bits := !total_bits + len;
+                    incr messages;
+                    if trace then entries := { from_ = st.rank; to_; bits = len; depth } :: !entries;
+                    st.sent_bits <- st.sent_bits + len;
+                    st.sent_messages <- st.sent_messages + 1;
+                    let peer = states.(to_) in
+                    Queue.add (payload, depth) peer.inboxes.(st.rank);
+                    (match peer.status with
+                    | Blocked (_, from_) when from_ = st.rank ->
+                        Queue.add (fun () -> try_resume peer) runnable
+                    | Blocked_any _ -> Queue.add (fun () -> try_resume peer) runnable
+                    | Blocked _ | Runnable | Finished -> ());
+                    continue k ())
+            | Recv_eff from_ ->
+                Some
+                  (fun (k : (c, unit) continuation) ->
+                    if Queue.is_empty st.inboxes.(from_) then st.status <- Blocked (k, from_)
+                    else continue k (consume st from_))
+            | Recv_any_eff ->
+                Some
+                  (fun (k : (c, unit) continuation) ->
+                    match first_nonempty_inbox st with
+                    | Some from_ -> continue k (from_, consume st from_)
+                    | None -> st.status <- Blocked_any k)
+            | _ -> None);
+      }
+  in
+  Array.iteri (fun rank st -> Queue.add (start st rank) runnable) states;
+  let rec schedule () =
+    match Queue.take_opt runnable with
+    | Some thunk ->
+        thunk ();
+        schedule ()
+    | None -> ()
+  in
+  schedule ();
+  Array.iter
+    (fun st ->
+      match st.status with
+      | Finished -> ()
+      | Blocked (_, from_) ->
+          raise
+            (Deadlock
+               (Printf.sprintf "player %d waits for a message from player %d that never comes"
+                  st.rank from_))
+      | Blocked_any _ ->
+          raise (Deadlock (Printf.sprintf "player %d waits for a message that never comes" st.rank))
+      | Runnable -> raise (Deadlock (Printf.sprintf "player %d runnable but never scheduled" st.rank)))
+    states;
+  let players_cost =
+    Array.map
+      (fun st ->
+        {
+          Cost.sent_bits = st.sent_bits;
+          received_bits = st.received_bits;
+          sent_messages = st.sent_messages;
+        })
+      states
+  in
+  let results =
+    Array.map (function Some r -> r | None -> assert false (* Finished implies stored *)) results
+  in
+  ( results,
+    { Cost.players = players_cost; total_bits = !total_bits; messages = !messages; rounds = !rounds },
+    List.rev !entries )
+
+let run players =
+  let results, cost, _ = run_with ~trace:false players in
+  (results, cost)
+
+let run_traced players = run_with ~trace:true players

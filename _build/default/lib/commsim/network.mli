@@ -1,0 +1,50 @@
+(** The message-passing model of Section 4 ([BEO+13]): [m] players, arbitrary
+    point-to-point messages, costs counted in bits and rounds.
+
+    Players are ordinary OCaml functions run as cooperative coroutines
+    (OCaml 5 effect handlers).  A player function receives only its
+    {!endpoint} — it has no reference to the other players' inputs, so the
+    information barrier of the communication model is enforced by scoping,
+    not by convention.  The scheduler delivers messages, meters every
+    payload, and tracks rounds as the longest chain of causally dependent
+    messages (see {!Cost}). *)
+
+type endpoint
+
+(** This player's index in [\[0, m)]. *)
+val rank : endpoint -> int
+
+(** Number of players. *)
+val size : endpoint -> int
+
+(** [send ep ~to_ payload] enqueues [payload] for player [to_].
+    Sending to yourself or out of range raises [Invalid_argument]. *)
+val send : endpoint -> to_:int -> Bitio.Bits.t -> unit
+
+(** [recv ep ~from_] blocks until a message from player [from_] arrives and
+    returns it.  Messages between a fixed pair arrive in FIFO order. *)
+val recv : endpoint -> from_:int -> Bitio.Bits.t
+
+(** [recv_any ep] blocks until a message from {e any} player arrives and
+    returns [(sender, payload)].  Used by coordinators multiplexing many
+    concurrent conversations (see {!Multiplex}). *)
+val recv_any : endpoint -> int * Bitio.Bits.t
+
+exception Deadlock of string
+(** Raised by {!run} when every unfinished player is blocked on a message
+    that can no longer arrive. *)
+
+(** One sent message, as recorded by {!run_traced}: sender, recipient,
+    payload length, and the message's causal depth (its round). *)
+type trace_entry = { from_ : int; to_ : int; bits : int; depth : int }
+
+(** [run players] runs all player functions to completion and returns their
+    results with the cost of the execution.  Players may finish in any
+    order; any leftover undelivered messages are allowed (they are already
+    metered). *)
+val run : (endpoint -> 'a) array -> 'a array * Cost.t
+
+(** Like {!run}, also returning the full message trace in send order.
+    Invariants (tested): one entry per message, entry bits sum to
+    [cost.total_bits], and the maximum depth equals [cost.rounds]. *)
+val run_traced : (endpoint -> 'a) array -> 'a array * Cost.t * trace_entry list

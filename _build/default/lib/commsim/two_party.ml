@@ -1,0 +1,12 @@
+let run ~alice ~bob =
+  let result_a = ref None and result_b = ref None in
+  let players =
+    [|
+      (fun ep -> result_a := Some (alice (Chan.of_endpoint ep ~peer:1)));
+      (fun ep -> result_b := Some (bob (Chan.of_endpoint ep ~peer:0)));
+    |]
+  in
+  let (_ : unit array), cost = Network.run players in
+  match (!result_a, !result_b) with
+  | Some a, Some b -> ((a, b), cost)
+  | _ -> assert false

@@ -1,0 +1,8 @@
+(** Two-party executions: the standard Yao model, with Alice as player 0 and
+    Bob as player 1. *)
+
+(** [run ~alice ~bob] runs both parties to completion and returns their
+    results together with the execution cost.  Each party sees only its
+    channel; scheduling, metering and round accounting are inherited from
+    {!Network}. *)
+val run : alice:(Chan.t -> 'a) -> bob:(Chan.t -> 'b) -> ('a * 'b) * Cost.t

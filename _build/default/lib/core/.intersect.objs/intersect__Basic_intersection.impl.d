@@ -1,0 +1,1 @@
+lib/core/basic_intersection.ml: Array Bitio Commsim Float Hashtbl Iset Iterated_log Printf Prng Protocol Strhash Wire

@@ -1,0 +1,1 @@
+lib/core/basic_intersection.mli: Bitio Commsim Hashtbl Iset Prng Protocol Strhash

@@ -1,0 +1,1 @@
+lib/core/bucket_protocol.ml: Array Bitio Commsim Eq_batch Hashing Hashtbl Iset List Option Printf Prng Protocol

@@ -1,0 +1,1 @@
+lib/core/bucket_protocol.mli: Commsim Iset Prng Protocol

@@ -1,0 +1,1 @@
+lib/core/disjointness.ml: Array Bitio Commsim Float Iset Iterated_log Option Printf Prng Protocol Strhash

@@ -1,0 +1,1 @@
+lib/core/disjointness.mli: Commsim Iset Prng Protocol

@@ -1,0 +1,1 @@
+lib/core/eq_batch.ml: Array Bitio Commsim Float Hashtbl Iterated_log List Printf Prng Strhash Wire

@@ -1,0 +1,1 @@
+lib/core/eq_batch.mli: Bitio Commsim Prng

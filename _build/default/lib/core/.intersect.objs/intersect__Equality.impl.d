@@ -1,0 +1,1 @@
+lib/core/equality.ml: Bitio Commsim Prng Strhash Wire

@@ -1,0 +1,1 @@
+lib/core/equality.mli: Bitio Commsim Iset Prng

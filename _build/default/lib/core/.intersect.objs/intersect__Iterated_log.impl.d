@@ -1,0 +1,1 @@
+lib/core/iterated_log.ml: Bitio

@@ -1,0 +1,1 @@
+lib/core/one_round_hash.ml: Array Basic_intersection Bitio Commsim Iterated_log Printf Prng Protocol Strhash

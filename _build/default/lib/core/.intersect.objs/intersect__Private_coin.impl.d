@@ -1,0 +1,1 @@
+lib/core/private_coin.ml: Array Bitio Commsim Int64 Iterated_log Prng Protocol

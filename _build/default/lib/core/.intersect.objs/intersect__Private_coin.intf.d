@@ -1,0 +1,1 @@
+lib/core/private_coin.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/strhash.ml: Bitio List Prng

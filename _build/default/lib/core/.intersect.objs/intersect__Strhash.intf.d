@@ -1,0 +1,1 @@
+lib/core/strhash.mli: Bitio Prng

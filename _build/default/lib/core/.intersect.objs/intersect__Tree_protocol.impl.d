@@ -1,0 +1,1 @@
+lib/core/tree_protocol.ml: Array Basic_intersection Bitio Commsim Float Hashing Iset Iterated_log List Printf Prng Protocol Strhash Vtree Wire

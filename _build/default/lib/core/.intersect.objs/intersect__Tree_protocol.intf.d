@@ -1,0 +1,1 @@
+lib/core/tree_protocol.mli: Commsim Iset Prng Protocol

@@ -1,0 +1,1 @@
+lib/core/trivial.ml: Bitio Commsim Iset Protocol Wire

@@ -1,0 +1,1 @@
+lib/core/verified.ml: Array Commsim Equality Printf Prng Protocol

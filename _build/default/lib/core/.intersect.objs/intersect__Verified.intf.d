@@ -1,0 +1,1 @@
+lib/core/verified.mli: Commsim Iset Prng Protocol

@@ -1,0 +1,1 @@
+lib/core/vtree.ml: Array Iterated_log List

@@ -1,0 +1,75 @@
+let tag_bits ~m ~failure =
+  if failure <= 0.0 || failure >= 1.0 then invalid_arg "Basic_intersection.tag_bits: failure";
+  let m = max 2 m in
+  let pair_bits = 2 * Iterated_log.log2_ceil m in
+  let failure_bits = int_of_float (Float.ceil (-.log failure /. log 2.0)) in
+  max 4 (pair_bits + failure_bits)
+
+let write_tags buf fn set = Array.iter (fun x -> Bitio.Bitbuf.append buf (Strhash.apply_int fn x)) set
+
+let read_tag_keys reader ~bits ~count =
+  let table = Hashtbl.create (2 * count) in
+  for _ = 1 to count do
+    Hashtbl.replace table (Bitio.Bits.key (Bitio.Bitreader.read_blob reader ~bits)) ()
+  done;
+  table
+
+let filter_by_tags fn table set =
+  Iset.filter (fun x -> Hashtbl.mem table (Bitio.Bits.key (Strhash.apply_int fn x))) set
+
+(* The standalone 4-message exchange.  [mine]/[theirs] differ only in who
+   talks first, so both runners share this body. *)
+let run rng ~failure chan ~first mine =
+  let open Commsim.Chan in
+  let my_size = Array.length mine in
+  let their_size =
+    if first then begin
+      chan.send (Wire.gamma_msg my_size);
+      Wire.read_gamma_msg (chan.recv ())
+    end
+    else begin
+      let n = Wire.read_gamma_msg (chan.recv ()) in
+      chan.send (Wire.gamma_msg my_size);
+      n
+    end
+  in
+  let m = my_size + their_size in
+  let bits = tag_bits ~m ~failure in
+  let fn = Strhash.create (Prng.Rng.with_label rng "basic-intersection/fn") ~bits in
+  let my_tags =
+    let buf = Bitio.Bitbuf.create () in
+    write_tags buf fn mine;
+    Bitio.Bitbuf.contents buf
+  in
+  let their_tags =
+    if first then begin
+      chan.send my_tags;
+      chan.recv ()
+    end
+    else begin
+      let t = chan.recv () in
+      chan.send my_tags;
+      t
+    end
+  in
+  let table = read_tag_keys (Bitio.Bitreader.create their_tags) ~bits ~count:their_size in
+  filter_by_tags fn table mine
+
+let run_alice rng ~failure chan s = run rng ~failure chan ~first:true s
+
+let run_bob rng ~failure chan t = run rng ~failure chan ~first:false t
+
+let protocol ~failure =
+  {
+    Protocol.name = Printf.sprintf "basic-intersection(failure=%g)" failure;
+    sandwich = true;
+    run =
+      (fun rng ~universe s t ->
+        Protocol.validate_inputs ~universe s t;
+        let (alice, bob), cost =
+          Commsim.Two_party.run
+            ~alice:(fun chan -> run_alice rng ~failure chan s)
+            ~bob:(fun chan -> run_bob rng ~failure chan t)
+        in
+        { Protocol.alice; bob; cost });
+  }

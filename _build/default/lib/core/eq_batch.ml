@@ -1,0 +1,157 @@
+type role = Alice | Bob
+
+let joint_bits ~k =
+  let k = max 1 k in
+  int_of_float (Float.ceil (sqrt (float_of_int k))) + (2 * Iterated_log.log2_ceil (k + 2)) + 8
+
+(* After this many tag iterations (probability ~2^-(2+4+8+...) per instance of
+   getting here) the remaining strings are exchanged verbatim. *)
+let default_max_iterations = 40
+
+type group = { gid : int; mutable undecided : int list }
+
+let length_prefixed instances idxs =
+  let buf = Bitio.Bitbuf.create () in
+  List.iter
+    (fun idx ->
+      Bitio.Codes.write_gamma buf (Bitio.Bits.length instances.(idx));
+      Bitio.Bitbuf.append buf instances.(idx))
+    idxs;
+  Bitio.Bitbuf.contents buf
+
+let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng chan instances =
+  let open Commsim.Chan in
+  let k = Array.length instances in
+  let status = Array.make k `Undecided in
+  let jbits = joint_bits ~k in
+  let instance_tag ~gid ~iteration ~idx ~bits =
+    let label = Printf.sprintf "eqb/g%d/t%d/i%d" gid iteration idx in
+    Strhash.tag (Prng.Rng.with_label rng label) ~bits instances.(idx)
+  in
+  let joint_tag ~gid ~iteration idxs =
+    let label = Printf.sprintf "eqb/joint/g%d/t%d" gid iteration in
+    Strhash.tag (Prng.Rng.with_label rng label) ~bits:jbits (length_prefixed instances idxs)
+  in
+  (* Exchange of one tag vector: Alice ships her tags, Bob replies with the
+     positions whose tags differ from his own.  Returns the shared mismatch
+     bitmap (in the order of [entries]). *)
+  let tag_round entries ~tag_of =
+    match role with
+    | Alice ->
+        let buf = Bitio.Bitbuf.create () in
+        List.iter (fun entry -> Bitio.Bitbuf.append buf (tag_of entry)) entries;
+        chan.send (Bitio.Bitbuf.contents buf);
+        Wire.read_bitmap_msg (chan.recv ()) ~width:(List.length entries)
+    | Bob ->
+        let reader = Bitio.Bitreader.create (chan.recv ()) in
+        let mismatches =
+          Array.of_list
+            (List.map
+               (fun entry ->
+                 let mine = tag_of entry in
+                 let theirs = Bitio.Bitreader.read_blob reader ~bits:(Bitio.Bits.length mine) in
+                 not (Bitio.Bits.equal mine theirs))
+               entries)
+        in
+        chan.send (Wire.bitmap_msg mismatches);
+        mismatches
+  in
+  (* Unconditional-termination fallback: exchange the remaining strings. *)
+  let exact_round groups =
+    let idxs = List.concat_map (fun g -> g.undecided) groups in
+    let mismatches =
+      match role with
+      | Alice ->
+          chan.send (length_prefixed instances idxs);
+          Wire.read_bitmap_msg (chan.recv ()) ~width:(List.length idxs)
+      | Bob ->
+          let reader = Bitio.Bitreader.create (chan.recv ()) in
+          let mismatches =
+            Array.of_list
+              (List.map
+                 (fun idx ->
+                   let len = Bitio.Codes.read_gamma reader in
+                   let theirs = Bitio.Bitreader.read_blob reader ~bits:len in
+                   not (Bitio.Bits.equal theirs instances.(idx)))
+                 idxs)
+          in
+          chan.send (Wire.bitmap_msg mismatches);
+          mismatches
+    in
+    List.iteri
+      (fun pos idx -> status.(idx) <- (if mismatches.(pos) then `Unequal else `Equal))
+      idxs
+  in
+  let process initial_groups =
+    let active = ref initial_groups in
+    let iteration = ref 0 in
+    while !active <> [] do
+      if !iteration >= max_iterations then begin
+        exact_round !active;
+        active := []
+      end
+      else begin
+        let bits = min 32 (2 lsl !iteration) in
+        let entries =
+          List.concat_map (fun g -> List.map (fun idx -> (g.gid, idx)) g.undecided) !active
+        in
+        let mismatches =
+          tag_round entries ~tag_of:(fun (gid, idx) ->
+              instance_tag ~gid ~iteration:!iteration ~idx ~bits)
+        in
+        (* Settle mismatching instances; remember which groups stayed clean. *)
+        let dirty = Hashtbl.create 8 in
+        List.iteri
+          (fun pos (gid, idx) ->
+            if mismatches.(pos) then begin
+              status.(idx) <- `Unequal;
+              Hashtbl.replace dirty gid ()
+            end)
+          entries;
+        List.iter
+          (fun g -> g.undecided <- List.filter (fun idx -> status.(idx) = `Undecided) g.undecided)
+          !active;
+        active := List.filter (fun g -> g.undecided <> []) !active;
+        (* Clean, still-undecided groups take a joint verification test. *)
+        let candidates = List.filter (fun g -> not (Hashtbl.mem dirty g.gid)) !active in
+        if candidates <> [] then begin
+          let passed =
+            tag_round
+              (List.map (fun g -> (g.gid, -1)) candidates)
+              ~tag_of:(fun (gid, _) ->
+                let g = List.find (fun g -> g.gid = gid) candidates in
+                joint_tag ~gid ~iteration:!iteration g.undecided)
+          in
+          (* [mismatch = false] means the joint tags agreed: declare equal. *)
+          List.iteri
+            (fun pos g ->
+              if not passed.(pos) then begin
+                List.iter (fun idx -> status.(idx) <- `Equal) g.undecided;
+                g.undecided <- []
+              end)
+            candidates;
+          active := List.filter (fun g -> g.undecided <> []) !active
+        end;
+        incr iteration
+      end
+    done
+  in
+  if k > 0 then begin
+    let group_count = int_of_float (Float.ceil (sqrt (float_of_int k))) in
+    let group_size = (k + group_count - 1) / group_count in
+    let groups =
+      List.init group_count (fun gid ->
+          let lo = gid * group_size in
+          let hi = min k (lo + group_size) in
+          { gid; undecided = List.init (max 0 (hi - lo)) (fun i -> lo + i) })
+      |> List.filter (fun g -> g.undecided <> [])
+    in
+    if sequential then List.iter (fun g -> process [ g ]) groups else process groups
+  end;
+  Array.map (fun st -> st = `Equal) status
+
+let run_alice ?sequential ?max_iterations rng chan xs =
+  run ?sequential ?max_iterations Alice rng chan xs
+
+let run_bob ?sequential ?max_iterations rng chan ys =
+  run ?sequential ?max_iterations Bob rng chan ys

@@ -1,0 +1,20 @@
+(* The tag function must depend only on the generator's root, never on how
+   many values either coroutine already consumed — the two parties reach
+   this point after different local histories. *)
+let tag_fn rng ~bits = Strhash.create (Prng.Rng.with_label rng "equality/tag") ~bits
+
+let run_alice rng ~bits chan x =
+  let tag = Strhash.apply (tag_fn rng ~bits) x in
+  chan.Commsim.Chan.send tag;
+  Wire.read_bit_msg (chan.Commsim.Chan.recv ())
+
+let run_bob rng ~bits chan y =
+  let tag = Strhash.apply (tag_fn rng ~bits) y in
+  let received = chan.Commsim.Chan.recv () in
+  let verdict = Bitio.Bits.equal tag received in
+  chan.Commsim.Chan.send (Wire.bit_msg verdict);
+  verdict
+
+let run_alice_set rng ~bits chan set = run_alice rng ~bits chan (Wire.of_set set)
+
+let run_bob_set rng ~bits chan set = run_bob rng ~bits chan (Wire.of_set set)

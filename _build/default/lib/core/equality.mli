@@ -1,0 +1,23 @@
+(** The equality test of Fact 3.5.
+
+    Alice sends a [bits]-bit shared-randomness tag of her string; Bob
+    compares it against the tag of his own string and replies with the
+    verdict.  Two messages, [bits + 1] bits total.
+
+    - if [x = y], both output [true] with probability 1;
+    - if [x <> y], both output [false] except with probability
+      [O(2^-bits)] (see {!Strhash} for the exact constant).
+
+    Both parties must call their side with generators sharing the same
+    root (same label chain of the shared randomness); the tag function is
+    derived by label only, so it does not matter how many values either
+    side already consumed. *)
+
+val run_alice : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Bitio.Bits.t -> bool
+
+val run_bob : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Bitio.Bits.t -> bool
+
+(** Equality of whole sets, via their canonical encoding ({!Wire.of_set}). *)
+val run_alice_set : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Iset.t -> bool
+
+val run_bob_set : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Iset.t -> bool

@@ -1,0 +1,39 @@
+let tag_bits ~k ~confidence =
+  if confidence < 1 then invalid_arg "One_round_hash.tag_bits";
+  max 8 (confidence * Iterated_log.log2_ceil (max 2 k))
+
+let protocol ?(confidence = 4) () =
+  {
+    Protocol.name = Printf.sprintf "one-round-hash(C=%d)" confidence;
+    sandwich = true;
+    run =
+      (fun rng ~universe s t ->
+        Protocol.validate_inputs ~universe s t;
+        let k = max 1 (max (Array.length s) (Array.length t)) in
+        let bits = tag_bits ~k ~confidence in
+        let fn () = Strhash.create (Prng.Rng.with_label rng "one-round/fn") ~bits in
+        let send_tags chan fn mine =
+          let buf = Bitio.Bitbuf.create () in
+          Bitio.Codes.write_gamma buf (Array.length mine);
+          Basic_intersection.write_tags buf fn mine;
+          chan.Commsim.Chan.send (Bitio.Bitbuf.contents buf)
+        in
+        let receive_and_filter chan fn mine =
+          let reader = Bitio.Bitreader.create (chan.Commsim.Chan.recv ()) in
+          let count = Bitio.Codes.read_gamma reader in
+          let table = Basic_intersection.read_tag_keys reader ~bits ~count in
+          Basic_intersection.filter_by_tags fn table mine
+        in
+        let alice chan =
+          let fn = fn () in
+          send_tags chan fn s;
+          receive_and_filter chan fn s
+        in
+        let bob chan =
+          let fn = fn () in
+          send_tags chan fn t;
+          receive_and_filter chan fn t
+        in
+        let (alice, bob), cost = Commsim.Two_party.run ~alice ~bob in
+        { Protocol.alice; bob; cost });
+  }

@@ -1,0 +1,25 @@
+(** The private-randomness model (§3.1).
+
+    In the common-random-string model the parties get shared coins for
+    free.  With only private coins, Newman's theorem adds
+    [O(log log T)] bits non-constructively; the paper instead makes its
+    protocols {e constructive}: after the FKS universe reduction, every
+    hash function the protocol needs can be described with
+    [O(log k + log log n)] random bits, which Alice simply draws privately
+    and ships in the first message.
+
+    This wrapper implements that compilation for any protocol in this
+    library: Alice draws a root seed of [seed_bits ~universe ~k] =
+    [Θ(log k + log log n)] bits, sends it, and both parties derive all
+    shared randomness from it.  In our simulation a PRNG seed stands in
+    for the explicit small hash-family descriptions; the {e communicated
+    bit count} matches the paper's extra term, turning e.g. Theorem 3.1
+    into its stated [O(k + log log n)] private-coin form. *)
+
+(** The in-band seed width: [log2 k + log2 log2 n + 32] slack bits. *)
+val seed_bits : universe:int -> k:int -> int
+
+(** [protocol base] prepends the seed exchange (one extra message and
+    round) and runs [base] on randomness derived from the transmitted
+    seed plus Alice's private generator. *)
+val protocol : Protocol.t -> Protocol.t

@@ -1,0 +1,86 @@
+(* Arithmetic over the Mersenne prime p = 2^61 - 1, using OCaml's 63-bit
+   native ints.  [reduce] accepts any value < 2^62. *)
+
+let p61 = (1 lsl 61) - 1
+
+let reduce x =
+  let x = (x land p61) + (x lsr 61) in
+  if x >= p61 then x - p61 else x
+
+(* Product mod p for a, b < p, via a 31/30-bit split; every intermediate
+   stays below 2^62, the safe range of [reduce]. *)
+let mul61 a b =
+  let au = a lsr 31 and ad = a land 0x7FFFFFFF in
+  let bu = b lsr 31 and bd = b land 0x7FFFFFFF in
+  let mid = (ad * bu) + (au * bd) in
+  let mid_hi = mid lsr 30 and mid_lo = mid land ((1 lsl 30) - 1) in
+  (* a*b = au*bu*2^62 + mid*2^31 + ad*bd, and 2^61 = 1 (mod p). *)
+  let r1 = reduce ((au * bu * 2) + mid_hi) in
+  let r2 = reduce (mid_lo lsl 31) in
+  let r3 = reduce (ad * bd) in
+  reduce (reduce (r1 + r2) + r3)
+
+let lane_width = 48
+
+type lane = { a : int; b : int; width : int }
+
+type fn = { point : int; lanes : lane list; bits : int }
+
+let draw_mod_p rng =
+  (* rejection from 61 uniform bits *)
+  let rec loop () =
+    let v = Prng.Rng.bits rng ~width:61 in
+    if v < p61 then v else loop ()
+  in
+  loop ()
+
+let create rng ~bits =
+  if bits < 1 then invalid_arg "Strhash.create: bits";
+  let point = 2 + (draw_mod_p rng mod (p61 - 4)) in
+  let rec mk_lanes remaining =
+    if remaining <= 0 then []
+    else begin
+      let width = min lane_width remaining in
+      let a = 1 + (draw_mod_p rng mod (p61 - 1)) in
+      let b = draw_mod_p rng in
+      { a; b; width } :: mk_lanes (remaining - width)
+    end
+  in
+  { point; lanes = mk_lanes bits; bits }
+
+let bits fn = fn.bits
+
+(* Polynomial fingerprint of a bit string: fold 24-bit chunks with a
+   length prefix so strings of different lengths cannot alias. *)
+let fingerprint fn payload =
+  let n = Bitio.Bits.length payload in
+  let acc = ref (reduce (n + 1)) in
+  let i = ref 0 in
+  while !i < n do
+    let chunk_len = min 24 (n - !i) in
+    let chunk = Bitio.Bits.extract payload ~pos:!i ~width:chunk_len in
+    (* chunk + 1 so trailing zero chunks still advance the polynomial *)
+    acc := reduce (mul61 !acc fn.point + (chunk + 1));
+    i := !i + chunk_len
+  done;
+  !acc
+
+let tag_of_value fn v =
+  let buf = Bitio.Bitbuf.create ~capacity:fn.bits () in
+  List.iter
+    (fun lane ->
+      let h = reduce (mul61 lane.a v + lane.b) in
+      (* low [width] bits of a near-uniform value mod p *)
+      Bitio.Bitbuf.write_bits buf ~width:lane.width (h land ((1 lsl lane.width) - 1)))
+    fn.lanes;
+  Bitio.Bitbuf.contents buf
+
+let apply fn payload = tag_of_value fn (fingerprint fn payload)
+
+let apply_int fn x =
+  if x < 0 || x lsr 60 <> 0 then invalid_arg "Strhash.apply_int: out of range";
+  tag_of_value fn x
+
+let tag rng ~bits payload = apply (create rng ~bits) payload
+
+let tag_int rng ~bits x = apply_int (create rng ~bits) x

@@ -1,0 +1,35 @@
+(** Shared-randomness hash tags of arbitrary width.
+
+    A [fn] is a random function producing [bits]-bit tags, built from
+    independent affine "lanes" over the Mersenne prime [p = 2^61 - 1]
+    (strings are first collapsed by a polynomial fingerprint over [p]).
+    Guarantees, for inputs [x <> y]:
+
+    - tags of equal inputs are always equal (one-sided);
+    - tags collide with probability at most
+      [2^-bits + length / 2^61 + 2^(bits mod 48 ... )] — within a small
+      constant factor of the ideal [2^-bits], which is all Fact 3.5 and
+      Lemma 3.3 need.
+
+    Both parties construct the same [fn] by passing {!Prng.Rng.t} values in
+    identical states (e.g. [Rng.with_label shared "stage3/node17"]); [create]
+    consumes from the generator. *)
+
+type fn
+
+(** [create rng ~bits] draws a tag function.  [bits >= 1]; any width is
+    supported (wide tags use several lanes). *)
+val create : Prng.Rng.t -> bits:int -> fn
+
+val bits : fn -> int
+
+(** Tag of a bit string. *)
+val apply : fn -> Bitio.Bits.t -> Bitio.Bits.t
+
+(** Tag of an integer in [\[0, 2^60)]. *)
+val apply_int : fn -> int -> Bitio.Bits.t
+
+(** One-shot conveniences (draw the function and apply it). *)
+val tag : Prng.Rng.t -> bits:int -> Bitio.Bits.t -> Bitio.Bits.t
+
+val tag_int : Prng.Rng.t -> bits:int -> int -> Bitio.Bits.t

@@ -1,0 +1,58 @@
+(** The main protocol (Theorem 1.1 / Theorem 3.6): for any [r >= 1], set
+    intersection in [O(r)] rounds with expected communication
+    [O(k log^(r) k)] and success probability [1 - 1/poly(k)].
+
+    Implementation follows Algorithm 1.  A shared hash drops elements into
+    [k] buckets (the tree leaves).  The protocol then runs [r] stages; stage
+    [i] runs one equality test per node of level [L_i] of the verification
+    tree ({!Vtree}), with per-stage error [1 / (log^(r-i-1) k)^4], and
+    re-runs {!Basic_intersection} (with the same per-stage error target) on
+    every leaf below a failed node.  All tests and re-runs of a stage are
+    batched into four messages, so the whole protocol takes at most [4r]
+    messages — within the paper's [6r] budget.
+
+    The outputs are the unions of each party's final leaf assignments; they
+    satisfy the candidate-sandwich contract of {!Protocol}, and equal
+    [S ∩ T] on both sides except with probability [O(1/k^3)]. *)
+
+(** [run_party role rng ~universe ~r ~k chan mine] is the message-level
+    runner ([`Alice] talks first); exposed for embedding in multi-party
+    executions.
+
+    Ablation knobs (defaults reproduce the paper):
+    [buckets] overrides the number of leaves (paper: [k]);
+    [flat_eq_bits] replaces the per-stage equality budget
+    [4 log (log^(r-i-1) k)] with one fixed width;
+    [budget] (total bits, counted identically by both sides) arms the
+    worst-case truncation described at {!protocol_budgeted}: when a stage
+    would start beyond the budget, both parties abandon the tree and fall
+    back to the deterministic exchange over the same channel. *)
+val run_party :
+  ?buckets:int ->
+  ?flat_eq_bits:int ->
+  ?budget:int ->
+  [ `Alice | `Bob ] ->
+  Prng.Rng.t ->
+  universe:int ->
+  r:int ->
+  k:int ->
+  Commsim.Chan.t ->
+  Iset.t ->
+  Iset.t
+
+(** [protocol ~r ()] runs with [k = max (|S|, |T|, 1)] (the promise
+    parameter is taken from the actual inputs) unless [k] is forced. *)
+val protocol : ?buckets:int -> ?flat_eq_bits:int -> ?k:int -> r:int -> unit -> Protocol.t
+
+(** Convenience: [r = log* k], the optimal-communication configuration. *)
+val protocol_log_star : ?k:int -> unit -> Protocol.t
+
+(** The paper's worst-case conversion ("terminating the protocol if it
+    consumes more than a constant factor times its expected communication
+    cost"): both parties count their own traffic, and if the tree protocol
+    would exceed [budget_factor * k * log^(r) k] bits they abandon it at a
+    stage boundary and fall back to the deterministic exchange — bounding
+    the worst case at [O(k log(n/k))] while keeping the expected cost.
+    Exposed for tests and the bench; with sane factors the fallback fires
+    with vanishing probability. *)
+val protocol_budgeted : ?budget_factor:int -> ?k:int -> r:int -> unit -> Protocol.t

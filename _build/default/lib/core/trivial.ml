@@ -1,0 +1,67 @@
+let protocol =
+  {
+    Protocol.name = "trivial";
+    sandwich = true;
+    run =
+      (fun _rng ~universe s t ->
+        Protocol.validate_inputs ~universe s t;
+        let alice chan =
+          chan.Commsim.Chan.send (Wire.of_set s);
+          Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+        in
+        let bob chan =
+          let received =
+            Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+          in
+          let intersection = Iset.inter received t in
+          chan.Commsim.Chan.send (Wire.of_set intersection);
+          intersection
+        in
+        let (alice, bob), cost = Commsim.Two_party.run ~alice ~bob in
+        { Protocol.alice; bob; cost });
+  }
+
+let protocol_entropy =
+  {
+    Protocol.name = "trivial-entropy-coded";
+    sandwich = true;
+    run =
+      (fun _rng ~universe s t ->
+        Protocol.validate_inputs ~universe s t;
+        let encode set =
+          let buf = Bitio.Bitbuf.create () in
+          Bitio.Enum_codec.write buf ~universe set;
+          Bitio.Bitbuf.contents buf
+        in
+        let decode payload = Bitio.Enum_codec.read (Bitio.Bitreader.create payload) ~universe in
+        let alice chan =
+          chan.Commsim.Chan.send (encode s);
+          decode (chan.Commsim.Chan.recv ())
+        in
+        let bob chan =
+          let received = decode (chan.Commsim.Chan.recv ()) in
+          let intersection = Iset.inter received t in
+          chan.Commsim.Chan.send (encode intersection);
+          intersection
+        in
+        let (alice, bob), cost = Commsim.Two_party.run ~alice ~bob in
+        { Protocol.alice; bob; cost });
+  }
+
+let protocol_full_exchange =
+  {
+    Protocol.name = "trivial-full-exchange";
+    sandwich = true;
+    run =
+      (fun _rng ~universe s t ->
+        Protocol.validate_inputs ~universe s t;
+        let party mine chan =
+          chan.Commsim.Chan.send (Wire.of_set mine);
+          let theirs =
+            Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+          in
+          Iset.inter mine theirs
+        in
+        let (alice, bob), cost = Commsim.Two_party.run ~alice:(party s) ~bob:(party t) in
+        { Protocol.alice; bob; cost });
+  }

@@ -1,0 +1,18 @@
+(** The trivial deterministic protocol ([D^(1)(INT_k) = O(k log (n/k))]).
+
+    Alice ships her whole set with the gap encoding (within a constant of
+    the [log2 (binom n k)] optimum); Bob intersects locally and returns the
+    intersection.  Deterministic, always exact, two messages. *)
+
+val protocol : Protocol.t
+
+(** Variant where both parties send their full sets simultaneously (one
+    round, [|S| + |T|] encodings) — the "exchange inputs" upper bound quoted
+    in the introduction. *)
+val protocol_full_exchange : Protocol.t
+
+(** Like {!protocol} but with the enumerative codec ({!Bitio.Enum_codec}):
+    the set travels in exactly [⌈log2 (binom n |S|)⌉] bits, the
+    information-theoretic optimum for the deterministic one-round setting.
+    Universes must stay below [2^26]. *)
+val protocol_entropy : Protocol.t

@@ -1,0 +1,48 @@
+type result = { outcome : Protocol.outcome; attempts : int; verified : bool }
+
+let check_cost_players = 2
+
+let run base ~bits ~max_attempts rng ~universe s t =
+  if not base.Protocol.sandwich then
+    invalid_arg "Verified.run: base protocol lacks the sandwich contract";
+  if max_attempts < 1 then invalid_arg "Verified.run: max_attempts";
+  let rec attempt i acc_cost =
+    let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "verified/attempt%d" i) in
+    let outcome = base.Protocol.run attempt_rng ~universe s t in
+    let eq_rng = Prng.Rng.with_label attempt_rng "verified/check" in
+    let (passed, _), check_cost =
+      Commsim.Two_party.run
+        ~alice:(fun chan -> Equality.run_alice_set eq_rng ~bits chan outcome.Protocol.alice)
+        ~bob:(fun chan -> Equality.run_bob_set eq_rng ~bits chan outcome.Protocol.bob)
+    in
+    let acc_cost = Commsim.Cost.add_seq acc_cost (Commsim.Cost.add_seq outcome.Protocol.cost check_cost) in
+    if passed || i >= max_attempts then
+      { outcome = { outcome with Protocol.cost = acc_cost }; attempts = i; verified = passed }
+    else attempt (i + 1) acc_cost
+  in
+  attempt 1 (Commsim.Cost.zero ~players:check_cost_players)
+
+let run_party role rng ~bits ~max_attempts chan ~party =
+  let rec attempt i =
+    let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "attempt%d" i) in
+    let candidate = party attempt_rng chan in
+    let eq_rng = Prng.Rng.with_label attempt_rng "check" in
+    let passed =
+      match role with
+      | `Alice -> Equality.run_alice_set eq_rng ~bits chan candidate
+      | `Bob -> Equality.run_bob_set eq_rng ~bits chan candidate
+    in
+    if passed || i >= max_attempts then candidate else attempt (i + 1)
+  in
+  attempt 1
+
+let protocol ?bits ?(max_attempts = 20) base =
+  {
+    Protocol.name = "verified(" ^ base.Protocol.name ^ ")";
+    sandwich = true;
+    run =
+      (fun rng ~universe s t ->
+        let k = max 1 (max (Array.length s) (Array.length t)) in
+        let bits = match bits with Some b -> b | None -> max 16 k in
+        (run base ~bits ~max_attempts rng ~universe s t).outcome);
+  }

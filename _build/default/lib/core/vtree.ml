@@ -1,0 +1,41 @@
+type node = { first_leaf : int; leaf_count : int }
+
+type t = { k : int; r : int; levels : node array array }
+
+let degree ~k ~r ~level =
+  if level < 1 || level > r then invalid_arg "Vtree.degree";
+  let d =
+    if level = 1 then Iterated_log.ilog (r - 1) k
+    else begin
+      let top = Iterated_log.ilog (r - level) k in
+      let bottom = Iterated_log.ilog (r - level + 1) k in
+      (top + bottom - 1) / bottom
+    end
+  in
+  max 2 d
+
+let group_level below ~deg =
+  let n = Array.length below in
+  let count = (n + deg - 1) / deg in
+  Array.init count (fun g ->
+      let lo = g * deg in
+      let hi = min n (lo + deg) in
+      let first_leaf = below.(lo).first_leaf in
+      let last = below.(hi - 1) in
+      { first_leaf; leaf_count = last.first_leaf + last.leaf_count - first_leaf })
+
+let build ~k ~r =
+  if k < 1 || r < 1 then invalid_arg "Vtree.build";
+  let levels = Array.make (r + 1) [||] in
+  levels.(0) <- Array.init k (fun i -> { first_leaf = i; leaf_count = 1 });
+  for level = 1 to r do
+    let deg =
+      if level = r then max 2 (Array.length levels.(level - 1)) (* squash into a single root *)
+      else degree ~k ~r ~level
+    in
+    levels.(level) <- group_level levels.(level - 1) ~deg
+  done;
+  assert (Array.length levels.(r) = 1);
+  { k; r; levels }
+
+let leaves node = List.init node.leaf_count (fun i -> node.first_leaf + i)

@@ -1,0 +1,25 @@
+(** The verification tree of Section 3.3.
+
+    A tree with [k] leaves and [r + 1] levels.  [L_0] is the leaves, [L_r]
+    the root.  The degree at level 1 is [log^(r-1) k] and at level
+    [2 <= i <= r] it is [log^(r-i) k / log^(r-i+1) k] (integer-clamped), so
+    a node [v] in [L_i] covers about [log^(r-i) k] leaves — the shape that
+    makes the per-stage equality traffic sum to [O(k log^(r) k)].
+
+    Nodes cover contiguous leaf ranges, so a node is just a slice
+    descriptor. *)
+
+type node = { first_leaf : int; leaf_count : int }
+
+type t = private { k : int; r : int; levels : node array array }
+
+(** [build ~k ~r] for [k >= 1], [r >= 1].  [levels] has [r + 1] entries;
+    [levels.(0)] has [k] single-leaf nodes; [levels.(r)] is a single root
+    covering everything. *)
+val build : k:int -> r:int -> t
+
+(** Target degree at [level] in [1, r] (before clamping to what remains). *)
+val degree : k:int -> r:int -> level:int -> int
+
+(** Leaf indices covered by a node. *)
+val leaves : node -> int list

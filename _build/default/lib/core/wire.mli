@@ -1,0 +1,21 @@
+(** Small helpers for assembling protocol messages. *)
+
+(** Canonical bit-string encoding of a set (gap code); equal sets have equal
+    encodings and vice versa — the representation equality tests run on. *)
+val of_set : Iset.t -> Bitio.Bits.t
+
+(** Canonical encoding of an ordered list of sets (e.g. the leaf assignments
+    under a tree node, in leaf order). *)
+val of_sets : Iset.t list -> Bitio.Bits.t
+
+(** One-value messages. *)
+val gamma_msg : int -> Bitio.Bits.t
+
+val read_gamma_msg : Bitio.Bits.t -> int
+val bit_msg : bool -> Bitio.Bits.t
+val read_bit_msg : Bitio.Bits.t -> bool
+
+(** Bitmap messages of a fixed, mutually known width. *)
+val bitmap_msg : bool array -> Bitio.Bits.t
+
+val read_bitmap_msg : Bitio.Bits.t -> width:int -> bool array

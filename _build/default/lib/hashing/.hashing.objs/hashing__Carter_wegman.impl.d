@@ -1,0 +1,1 @@
+lib/hashing/carter_wegman.ml: Bitio Int64 Modarith Prime Prng

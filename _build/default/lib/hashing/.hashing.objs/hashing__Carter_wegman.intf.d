@@ -1,0 +1,1 @@
+lib/hashing/carter_wegman.mli: Hash_family

@@ -1,0 +1,1 @@
+lib/hashing/fks.ml: Bitio Prime

@@ -1,0 +1,1 @@
+lib/hashing/fks.mli: Prng

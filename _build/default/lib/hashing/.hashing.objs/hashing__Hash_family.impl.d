@@ -1,0 +1,1 @@
+lib/hashing/hash_family.ml: Array Hashtbl Option Prng

@@ -1,0 +1,1 @@
+lib/hashing/multiply_shift.ml: Bitio Int64 Prng

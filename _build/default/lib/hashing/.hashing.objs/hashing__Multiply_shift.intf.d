@@ -1,0 +1,1 @@
+lib/hashing/multiply_shift.mli: Hash_family

@@ -1,0 +1,1 @@
+lib/hashing/poly_family.ml: Array Bitio Int64 Modarith Prime Prng

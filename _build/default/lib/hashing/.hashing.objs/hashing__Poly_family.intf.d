@@ -1,0 +1,1 @@
+lib/hashing/poly_family.mli: Prng

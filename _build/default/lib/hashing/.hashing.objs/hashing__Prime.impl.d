@@ -1,0 +1,1 @@
+lib/hashing/prime.ml: Int64 List Modarith Prng

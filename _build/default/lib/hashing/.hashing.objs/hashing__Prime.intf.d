@@ -1,0 +1,1 @@
+lib/hashing/prime.mli: Prng

@@ -1,0 +1,1 @@
+lib/hashing/tabulation.ml: Array Int64 Prng

@@ -1,0 +1,23 @@
+type t = { p : int64; a : int64; b : int64; range : int; seed_bits : int }
+
+let create rng ~universe ~range =
+  if universe < 1 || range < 1 then invalid_arg "Carter_wegman.create";
+  let p = Prime.next_prime (max universe 2) in
+  let a = 1 + Prng.Rng.int rng (p - 1) in
+  let b = Prng.Rng.int rng p in
+  {
+    p = Int64.of_int p;
+    a = Int64.of_int a;
+    b = Int64.of_int b;
+    range;
+    seed_bits = 2 * Bitio.Codes.bit_width p;
+  }
+
+let hash t x =
+  if x < 0 then invalid_arg "Carter_wegman.hash: negative";
+  let v = Modarith.addmod (Modarith.mulmod t.a (Int64.of_int x) t.p) t.b t.p in
+  Int64.to_int (Int64.unsigned_rem v (Int64.of_int t.range))
+
+let range t = t.range
+let seed_bits t = t.seed_bits
+let modulus t = Int64.to_int t.p

@@ -1,0 +1,8 @@
+(** Pairwise-independent hashing [h(x) = ((a*x + b) mod p) mod range] over a
+    prime field [p >= universe] — the explicit [O(log n)]-random-bit family
+    behind Fact 2.2. *)
+
+include Hash_family.S
+
+(** The prime modulus actually chosen. *)
+val modulus : t -> int

@@ -1,0 +1,32 @@
+type t = { q : int; bound : int }
+
+let log2 x = log x /. log 2.0
+
+(* A collision [x = y mod q] means q divides |x - y| < n; each of the
+   <= k^2/2 differences has at most log2 n prime divisors.  With pi(t) >=
+   t / ln t primes available (valid for t >= 17), choosing
+   t >= (k^2 * log2 n / (2 delta)) * ln t makes the bad fraction <= delta.
+   We solve the implicit bound by fixed-point iteration. *)
+let prime_bound ~universe ~set_size ~failure =
+  if universe < 2 || set_size < 1 then invalid_arg "Fks.prime_bound";
+  if failure <= 0.0 || failure >= 1.0 then invalid_arg "Fks.prime_bound: failure";
+  let k = float_of_int set_size in
+  let m = k *. k *. log2 (float_of_int universe) /. (2.0 *. failure) in
+  let t = ref (max 17.0 (2.0 *. m)) in
+  for _ = 1 to 20 do
+    t := max 17.0 (m *. log !t)
+  done;
+  let b = int_of_float (ceil !t) in
+  max 17 b
+
+let create rng ~universe ~set_size ~failure =
+  let bound = prime_bound ~universe ~set_size ~failure in
+  let q = Prime.random_prime rng ~below:(bound + 1) in
+  { q; bound }
+
+let hash t x =
+  if x < 0 then invalid_arg "Fks.hash: negative";
+  x mod t.q
+
+let modulus t = t.q
+let seed_bits t = Bitio.Codes.bit_width t.bound

@@ -1,0 +1,26 @@
+(** FKS universe reduction (Fredman–Komlós–Szemerédi, JACM 1984).
+
+    Mapping [x -> x mod q] for a uniformly random prime [q <= t] with
+    [t = Θ(k² log n / δ)] is collision-free on any fixed set of [k] elements
+    of [\[0, n)] with probability at least [1 - δ].  The paper (§3.1) uses
+    this to shrink [O(log n)]-bit elements to [O(log k + log log n)] bits so
+    the pairwise-independent hash that follows needs only
+    [O(log k + log log n)] random bits. *)
+
+type t
+
+(** [create rng ~universe ~set_size ~failure] draws a random prime for sets
+    of at most [set_size] elements with collision probability at most
+    [failure]. *)
+val create : Prng.Rng.t -> universe:int -> set_size:int -> failure:float -> t
+
+val hash : t -> int -> int
+
+(** The chosen prime [q]; hashes land in [\[0, q)]. *)
+val modulus : t -> int
+
+(** Bits to transmit [q] in band (private-randomness accounting). *)
+val seed_bits : t -> int
+
+(** The bound [t] below which the prime was sampled (exposed for tests). *)
+val prime_bound : universe:int -> set_size:int -> failure:float -> int

@@ -1,0 +1,25 @@
+module type S = sig
+  type t
+
+  val create : Prng.Rng.t -> universe:int -> range:int -> t
+  val hash : t -> int -> int
+  val range : t -> int
+  val seed_bits : t -> int
+end
+
+let bucket_counts ~hash s =
+  let table = Hashtbl.create (Array.length s) in
+  Array.iter
+    (fun x ->
+      let h = hash x in
+      Hashtbl.replace table h (1 + Option.value ~default:0 (Hashtbl.find_opt table h)))
+    s;
+  table
+
+let has_collision ~hash s =
+  let table = bucket_counts ~hash s in
+  Hashtbl.fold (fun _ count acc -> acc || count > 1) table false
+
+let colliding_pairs ~hash s =
+  let table = bucket_counts ~hash s in
+  Hashtbl.fold (fun _ count acc -> acc + (count * (count - 1) / 2)) table 0

@@ -1,0 +1,24 @@
+(** Common interface for the hash-function families of Fact 2.2, plus
+    collision diagnostics used by tests and ablations. *)
+
+module type S = sig
+  type t
+
+  (** [create rng ~universe ~range] draws a random function
+      [\[0, universe) -> \[0, range)] from the family. *)
+  val create : Prng.Rng.t -> universe:int -> range:int -> t
+
+  val hash : t -> int -> int
+  val range : t -> int
+
+  (** Number of random bits needed to describe the drawn function — the
+      in-band cost of shipping it in the private-randomness model. *)
+  val seed_bits : t -> int
+end
+
+(** [has_collision ~hash s] checks whether any two distinct elements of [s]
+    (given as a set, i.e. distinct values) collide under [hash]. *)
+val has_collision : hash:(int -> int) -> int array -> bool
+
+(** [colliding_pairs ~hash s] counts unordered colliding pairs. *)
+val colliding_pairs : hash:(int -> int) -> int array -> int

@@ -1,0 +1,34 @@
+let ( <^ ) a b = Int64.unsigned_compare a b < 0
+let ( >=^ ) a b = Int64.unsigned_compare a b >= 0
+
+let addmod a b m =
+  let s = Int64.add a b in
+  (* Wrapped around 2^64, or simply reached m: subtract once. *)
+  if s <^ a || s >=^ m then Int64.sub s m else s
+
+let direct_threshold = 0xFFFFFFFFL (* products of values below 2^32 fit. *)
+
+let mulmod a b m =
+  if a <^ direct_threshold && b <^ direct_threshold then Int64.unsigned_rem (Int64.mul a b) m
+  else begin
+    let result = ref 0L in
+    let a = ref (Int64.unsigned_rem a m) in
+    let b = ref b in
+    while !b <> 0L do
+      if Int64.logand !b 1L = 1L then result := addmod !result !a m;
+      a := addmod !a !a m;
+      b := Int64.shift_right_logical !b 1
+    done;
+    !result
+  end
+
+let powmod b e m =
+  let result = ref 1L in
+  let b = ref (Int64.unsigned_rem b m) in
+  let e = ref e in
+  while !e <> 0L do
+    if Int64.logand !e 1L = 1L then result := mulmod !result !b m;
+    b := mulmod !b !b m;
+    e := Int64.shift_right_logical !e 1
+  done;
+  !result

@@ -1,0 +1,15 @@
+type t = { a : int64; shift : int; range : int }
+
+let create rng ~universe ~range =
+  if universe < 1 || range < 1 then invalid_arg "Multiply_shift.create";
+  let a = Int64.logor (Prng.Rng.int64 rng) 1L in
+  let width = if range <= 2 then 1 else Bitio.Codes.bit_width (range - 1) in
+  { a; shift = 64 - width; range }
+
+let hash t x =
+  if x < 0 then invalid_arg "Multiply_shift.hash: negative";
+  let v = Int64.to_int (Int64.shift_right_logical (Int64.mul t.a (Int64.of_int x)) t.shift) in
+  v mod t.range
+
+let range t = t.range
+let seed_bits _ = 64

@@ -1,0 +1,5 @@
+(** Dietzfelbinger-style multiply-shift hashing: a random odd 64-bit
+    multiplier followed by a shift.  Universal onto power-of-two ranges and
+    very fast; non-power-of-two ranges are folded by a final reduction. *)
+
+include Hash_family.S

@@ -1,0 +1,30 @@
+type t = { p : int64; coefficients : int64 array; range : int }
+
+let create rng ~universe ~range ~independence =
+  if universe < 1 || range < 1 then invalid_arg "Poly_family.create";
+  if independence < 1 then invalid_arg "Poly_family.create: independence";
+  let p = Prime.next_prime (max universe 2) in
+  let coefficients =
+    Array.init independence (fun i ->
+        (* leading coefficient nonzero so the degree is exact *)
+        let lo = if i = independence - 1 && independence > 1 then 1 else 0 in
+        Int64.of_int (lo + Prng.Rng.int rng (p - lo)))
+  in
+  { p = Int64.of_int p; coefficients; range }
+
+(* Horner evaluation with overflow-safe modular steps. *)
+let hash t x =
+  if x < 0 then invalid_arg "Poly_family.hash: negative";
+  let x64 = Int64.of_int x in
+  let acc = ref 0L in
+  for i = Array.length t.coefficients - 1 downto 0 do
+    acc := Modarith.addmod (Modarith.mulmod !acc x64 t.p) t.coefficients.(i) t.p
+  done;
+  Int64.to_int (Int64.unsigned_rem !acc (Int64.of_int t.range))
+
+let range t = t.range
+
+let independence t = Array.length t.coefficients
+
+let seed_bits t =
+  Array.length t.coefficients * Bitio.Codes.bit_width (Int64.to_int t.p)

@@ -1,0 +1,17 @@
+(** Degree-(d-1) polynomial hashing over a prime field: the classic
+    d-independent family (Wegman–Carter).  Pairwise independence ([d = 2])
+    is all the paper's protocols need; higher independence is exposed for
+    the robustness ablations (bucket-load tails sharpen with d). *)
+
+type t
+
+(** [create rng ~universe ~range ~independence] draws a random polynomial
+    of degree [independence - 1]; [independence >= 1]. *)
+val create : Prng.Rng.t -> universe:int -> range:int -> independence:int -> t
+
+val hash : t -> int -> int
+val range : t -> int
+val independence : t -> int
+
+(** Random bits consumed: [independence] coefficients of [log p] bits. *)
+val seed_bits : t -> int

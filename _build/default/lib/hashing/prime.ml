@@ -1,0 +1,48 @@
+(* Deterministic Miller-Rabin: this base set is exact for n < 3.3 * 10^24,
+   far beyond our 62-bit inputs (Sorenson & Webster). *)
+let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else begin
+    let n64 = Int64.of_int n in
+    let d = ref (n - 1) and s = ref 0 in
+    while !d mod 2 = 0 do
+      d := !d / 2;
+      incr s
+    done;
+    let strong_probable_prime a =
+      let a = a mod n in
+      if a = 0 then true
+      else begin
+        let x = ref (Modarith.powmod (Int64.of_int a) (Int64.of_int !d) n64) in
+        if !x = 1L || !x = Int64.of_int (n - 1) then true
+        else begin
+          let witness_found = ref false in
+          let r = ref 1 in
+          while (not !witness_found) && !r < !s do
+            x := Modarith.mulmod !x !x n64;
+            if !x = Int64.of_int (n - 1) then witness_found := true;
+            incr r
+          done;
+          !witness_found
+        end
+      end
+    in
+    List.for_all strong_probable_prime witnesses
+  end
+
+let next_prime n =
+  if n < 2 then invalid_arg "Prime.next_prime";
+  let rec search n = if is_prime n then n else search (n + 1) in
+  search n
+
+let random_prime rng ~below =
+  if below <= 2 then invalid_arg "Prime.random_prime";
+  let rec draw () =
+    let candidate = 2 + Prng.Rng.int rng (below - 2) in
+    if is_prime candidate then candidate else draw ()
+  in
+  draw ()

@@ -1,0 +1,18 @@
+type t = { tables : int64 array array; range : int }
+
+let create rng ~universe ~range =
+  if universe < 1 || range < 1 then invalid_arg "Tabulation.create";
+  let tables = Array.init 8 (fun _ -> Array.init 256 (fun _ -> Prng.Rng.int64 rng)) in
+  { tables; range }
+
+let hash t x =
+  if x < 0 then invalid_arg "Tabulation.hash: negative";
+  let acc = ref 0L in
+  for byte = 0 to 7 do
+    let idx = (x lsr (8 * byte)) land 0xFF in
+    acc := Int64.logxor !acc t.tables.(byte).(idx)
+  done;
+  Int64.to_int (Int64.unsigned_rem !acc (Int64.of_int t.range))
+
+let range t = t.range
+let seed_bits _ = 8 * 256 * 64

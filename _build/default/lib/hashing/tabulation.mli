@@ -1,0 +1,5 @@
+(** Simple tabulation hashing (Zobrist): one random 64-bit table per input
+    byte, XORed together.  3-independent; used in robustness ablations as a
+    stronger-than-pairwise alternative. *)
+
+include Hash_family.S

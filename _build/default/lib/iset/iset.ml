@@ -1,0 +1,88 @@
+type t = int array
+
+let empty = [||]
+
+let of_list l = Array.of_list (List.sort_uniq compare l)
+
+let of_array a = of_list (Array.to_list a)
+
+let is_valid a =
+  let n = Array.length a in
+  let rec loop i = i >= n || (a.(i - 1) < a.(i) && loop (i + 1)) in
+  loop 1
+
+let cardinal = Array.length
+
+let mem a x =
+  let rec search lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true else if a.(mid) < x then search (mid + 1) hi else search lo mid
+    end
+  in
+  search 0 (Array.length a)
+
+let equal a b = a = b
+
+(* Generic sorted merge; [keep] decides membership in the result from
+   (in_a, in_b). *)
+let merge keep a b =
+  let out = ref [] in
+  let push x = out := x :: !out in
+  let i = ref 0 and j = ref 0 in
+  let la = Array.length a and lb = Array.length b in
+  while !i < la || !j < lb do
+    if !i >= la then begin
+      if keep false true then push b.(!j);
+      incr j
+    end
+    else if !j >= lb then begin
+      if keep true false then push a.(!i);
+      incr i
+    end
+    else if a.(!i) = b.(!j) then begin
+      if keep true true then push a.(!i);
+      incr i;
+      incr j
+    end
+    else if a.(!i) < b.(!j) then begin
+      if keep true false then push a.(!i);
+      incr i
+    end
+    else begin
+      if keep false true then push b.(!j);
+      incr j
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let inter a b = merge (fun in_a in_b -> in_a && in_b) a b
+let union a b = merge (fun in_a in_b -> in_a || in_b) a b
+let diff a b = merge (fun in_a in_b -> in_a && not in_b) a b
+
+let subset a b = Array.length (diff a b) = 0
+
+let filter p a = Array.of_list (List.filter p (Array.to_list a))
+
+let partition_by f ~bins a =
+  let acc = Array.make bins [] in
+  Array.iter
+    (fun x ->
+      let b = f x in
+      if b < 0 || b >= bins then invalid_arg "Iset.partition_by: key out of range";
+      acc.(b) <- x :: acc.(b))
+    a;
+  (* input is sorted, so each reversed bin is sorted *)
+  Array.map (fun bin -> Array.of_list (List.rev bin)) acc
+
+let inter_many = function
+  | [] -> invalid_arg "Iset.inter_many: empty list"
+  | first :: rest -> List.fold_left inter first rest
+
+let union_many sets = List.fold_left union empty sets
+
+let pp ppf a =
+  Format.fprintf ppf "{";
+  Array.iteri (fun i x -> Format.fprintf ppf (if i = 0 then "%d" else ",%d") x) a;
+  Format.fprintf ppf "}"

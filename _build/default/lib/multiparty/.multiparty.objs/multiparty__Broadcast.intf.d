@@ -1,0 +1,1 @@
+lib/multiparty/broadcast.mli: Commsim Iset

@@ -1,0 +1,1 @@
+lib/multiparty/group.ml: List

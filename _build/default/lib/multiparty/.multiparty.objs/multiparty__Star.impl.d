@@ -1,0 +1,1 @@
+lib/multiparty/star.ml: Array Broadcast Commsim Fun Group Intersect Iset Iterated_log List Printf Prng Protocol Tree_protocol Verified

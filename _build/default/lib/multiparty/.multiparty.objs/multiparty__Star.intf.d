@@ -1,0 +1,1 @@
+lib/multiparty/star.mli: Commsim Iset Prng

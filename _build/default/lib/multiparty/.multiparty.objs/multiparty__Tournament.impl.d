@@ -1,0 +1,1 @@
+lib/multiparty/tournament.ml: Array Broadcast Commsim Equality Fun Group Intersect Iterated_log List Printf Prng Protocol Tree_protocol Wire

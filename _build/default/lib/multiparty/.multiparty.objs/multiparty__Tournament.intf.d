@@ -1,0 +1,1 @@
+lib/multiparty/tournament.mli: Commsim Iset Prng

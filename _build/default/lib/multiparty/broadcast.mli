@@ -1,0 +1,9 @@
+(** Binomial-tree broadcast of a result set from player 0 to everyone:
+    [ceil (log2 m)] rounds, [m - 1] messages, each carrying the gap-coded
+    set — the unavoidable output-delivery cost when all players must learn
+    the final intersection.  Every player calls this once after the
+    intersection phase. *)
+
+(** [run ep set] returns the broadcast set: player 0 passes the result, the
+    others' argument is ignored (their state is overwritten). *)
+val run : Commsim.Network.endpoint -> Iset.t -> Iset.t

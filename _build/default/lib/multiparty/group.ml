@@ -1,0 +1,18 @@
+let size ~k =
+  if k < 1 then invalid_arg "Group.size";
+  1 lsl min k 20
+
+let chunk ranks ~size =
+  if size < 2 then invalid_arg "Group.chunk: size";
+  let rec loop acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if count = size then loop (List.rev current :: acc) [ x ] 1 rest
+        else loop acc (x :: current) (count + 1) rest
+  in
+  loop [] [] 0 ranks
+
+let levels ~m ~k =
+  let g = size ~k in
+  let rec loop m acc = if m <= 1 then max 1 acc else loop ((m + g - 1) / g) (acc + 1) in
+  loop m 0

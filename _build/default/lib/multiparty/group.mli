@@ -1,0 +1,16 @@
+(** Group bookkeeping shared by the multi-party protocols of Section 4.
+
+    Players are partitioned into groups of at most [2^k] (capped for
+    practicality); the first member of each group is its coordinator; the
+    coordinators recurse, giving [max(1, log m / k)] levels. *)
+
+(** Effective group size for promise parameter [k]: [2^k], capped at
+    [2^20]. *)
+val size : k:int -> int
+
+(** [chunk ranks ~size] splits a list into consecutive chunks. *)
+val chunk : int list -> size:int -> int list list
+
+(** Number of recursion levels for [m] players: groups of [size ~k] until a
+    single player remains. *)
+val levels : m:int -> k:int -> int

@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Bitio Char Float Int64 Splitmix64 String

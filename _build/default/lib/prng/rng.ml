@@ -1,0 +1,66 @@
+type t = { gen : Splitmix64.t; root : int64 }
+
+let of_seed seed = { gen = Splitmix64.create seed; root = seed }
+
+let of_int n = of_seed (Int64.of_int n)
+
+let fnv1a64 s =
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := logxor !h (of_int (Char.code c));
+      h := mul !h 0x100000001B3L)
+    s;
+  !h
+
+let with_label t label =
+  of_seed (Splitmix64.mix (Int64.logxor t.root (fnv1a64 label)))
+
+let split t = of_seed (Splitmix64.next t.gen)
+
+let int64 t = Splitmix64.next t.gen
+
+let bits t ~width =
+  if width < 0 || width > 62 then invalid_arg "Rng.bits: width";
+  if width = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (int64 t) (64 - width))
+
+let int t bound =
+  if bound < 1 then invalid_arg "Rng.int: bound";
+  if bound = 1 then 0
+  else begin
+    let width = Bitio.Codes.bit_width (bound - 1) in
+    let rec draw () =
+      let v = bits t ~width in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end
+
+let bool t = Int64.compare (int64 t) 0L < 0
+
+let float t =
+  (* 53 uniform bits into [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int v /. 9007199254740992.0
+
+let bernoulli t ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Rng.bernoulli";
+  float t < p
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric";
+  if p >= 1.0 then 0
+  else begin
+    let u = 1.0 -. float t (* in (0, 1] *) in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,47 @@
+(** Deterministic, splittable randomness.
+
+    This module plays the role of the paper's {e common random string}: two
+    parties seeded with the same root seed and asking for the same labels
+    observe identical random streams without exchanging a single bit.  All
+    protocol code takes an explicit [Rng.t]; nothing reads global state, so
+    every run is reproducible from its seed. *)
+
+type t
+
+val of_seed : int64 -> t
+
+(** Convenience: seed from a small integer (tests, CLIs). *)
+val of_int : int -> t
+
+(** [with_label t label] is a fresh generator derived from [t]'s {e root}
+    seed and [label] only.  It does not advance [t], and the result is
+    independent of how many values were drawn from [t] — this is what lets
+    two parties agree on per-stage / per-node hash functions.  Labels are
+    hashed with FNV-1a 64. *)
+val with_label : t -> string -> t
+
+(** [split t] draws a fresh child generator from [t] (advances [t]). *)
+val split : t -> t
+
+val int64 : t -> int64
+
+(** [bits t ~width] is a uniform integer of [width] bits, [0 <= width <= 62]. *)
+val bits : t -> width:int -> int
+
+(** [int t bound] is uniform in [\[0, bound)]; [bound >= 1].  Unbiased via
+    rejection sampling. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+val bernoulli : t -> p:float -> bool
+
+(** [geometric t ~p] is the number of failures before the first success of a
+    Bernoulli([p]) sequence; [0 < p <= 1]. *)
+val geometric : t -> p:float -> int
+
+(** Fisher–Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit

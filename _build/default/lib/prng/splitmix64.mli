@@ -1,0 +1,13 @@
+(** SplitMix64: a fast 64-bit generator with provably full period, used as
+    the root source of all randomness in the simulator (Steele, Lea &
+    Flood, OOPSLA 2014 parameters). *)
+
+type t
+
+val create : int64 -> t
+
+(** Next 64-bit output; advances the state. *)
+val next : t -> int64
+
+(** Stateless single-step mix, used for seed derivation. *)
+val mix : int64 -> int64

@@ -1,0 +1,34 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let pad width cell = cell ^ String.make (width - String.length cell) ' ' in
+  let render_row row = "| " ^ String.concat " | " (List.map2 pad widths row) ^ " |" in
+  let rule = "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+" in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t = print_endline (render t)
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v

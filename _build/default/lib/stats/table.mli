@@ -1,0 +1,17 @@
+(** Minimal ASCII table rendering for the experiment harness: fixed header,
+    rows of strings, columns padded to content. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+(** Append one row; must have as many cells as there are columns. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit
+
+(** Formatting helpers used throughout the bench tables. *)
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string

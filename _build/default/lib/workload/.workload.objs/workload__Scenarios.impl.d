@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Array Char Int64 Iset List Prng Setgen String

@@ -1,0 +1,1 @@
+lib/workload/setgen.ml: Array Float Hashtbl Iset Prng

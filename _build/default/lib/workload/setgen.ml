@@ -1,0 +1,88 @@
+type pair = { s : int array; t : int array }
+
+let is_sorted_set = Iset.is_valid
+
+(* Floyd's sampling: a uniform [size]-subset of [0, universe) in O(size)
+   expected time, independent of the universe. *)
+let random_set rng ~universe ~size =
+  if size < 0 || size > universe then invalid_arg "Setgen.random_set";
+  let chosen = Hashtbl.create (2 * size) in
+  for j = universe - size to universe - 1 do
+    let t = Prng.Rng.int rng (j + 1) in
+    if Hashtbl.mem chosen t then Hashtbl.replace chosen j () else Hashtbl.replace chosen t ()
+  done;
+  let out = Array.of_seq (Hashtbl.to_seq_keys chosen) in
+  Array.sort compare out;
+  out
+
+let pair_with_overlap rng ~universe ~size_s ~size_t ~overlap =
+  if overlap < 0 || overlap > min size_s size_t then invalid_arg "Setgen.pair_with_overlap: overlap";
+  let support = size_s + size_t - overlap in
+  if support > universe then invalid_arg "Setgen.pair_with_overlap: universe too small";
+  let elements = random_set rng ~universe ~size:support in
+  Prng.Rng.shuffle rng elements;
+  let s = Array.make size_s 0 and t = Array.make size_t 0 in
+  for i = 0 to overlap - 1 do
+    s.(i) <- elements.(i);
+    t.(i) <- elements.(i)
+  done;
+  for i = overlap to size_s - 1 do
+    s.(i) <- elements.(i)
+  done;
+  for i = overlap to size_t - 1 do
+    t.(i) <- elements.(size_s - overlap + i)
+  done;
+  Array.sort compare s;
+  Array.sort compare t;
+  { s; t }
+
+let zipf_cumulative ~universe ~exponent =
+  let cumulative = Array.make universe 0.0 in
+  let acc = ref 0.0 in
+  for r = 1 to universe do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int r) exponent);
+    cumulative.(r - 1) <- !acc
+  done;
+  cumulative
+
+let zipf_pair rng ~universe ~size ~exponent =
+  if size > universe / 2 then invalid_arg "Setgen.zipf_pair: size too large for rejection sampling";
+  let cumulative = zipf_cumulative ~universe ~exponent in
+  let total = cumulative.(universe - 1) in
+  let sample_rank () =
+    let u = Prng.Rng.float rng *. total in
+    (* first index with cumulative >= u *)
+    let lo = ref 0 and hi = ref (universe - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let draw_set () =
+    let chosen = Hashtbl.create (2 * size) in
+    while Hashtbl.length chosen < size do
+      Hashtbl.replace chosen (sample_rank ()) ()
+    done;
+    let out = Array.of_seq (Hashtbl.to_seq_keys chosen) in
+    Array.sort compare out;
+    out
+  in
+  { s = draw_set (); t = draw_set () }
+
+let family_with_core rng ~universe ~players ~size ~core =
+  if core > size then invalid_arg "Setgen.family_with_core: core > size";
+  if players < 1 then invalid_arg "Setgen.family_with_core: players";
+  let support = core + (players * (size - core)) in
+  if support > universe then invalid_arg "Setgen.family_with_core: universe too small";
+  let elements = random_set rng ~universe ~size:support in
+  Prng.Rng.shuffle rng elements;
+  let shared = Array.sub elements 0 core in
+  Array.init players (fun p ->
+      let private_part = Array.sub elements (core + (p * (size - core))) (size - core) in
+      let set = Array.append shared private_part in
+      Array.sort compare set;
+      set)
+
+let intersect = Iset.inter
+let union = Iset.union

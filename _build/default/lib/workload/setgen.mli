@@ -1,0 +1,35 @@
+(** Workload generators: pairs (and families) of sets with controlled size,
+    overlap and skew.  All sets are sorted arrays of distinct elements of
+    [\[0, universe)]. *)
+
+type pair = { s : int array; t : int array }
+
+(** [random_set rng ~universe ~size] draws a uniform [size]-subset.
+    Requires [size <= universe]. *)
+val random_set : Prng.Rng.t -> universe:int -> size:int -> int array
+
+(** [pair_with_overlap rng ~universe ~size_s ~size_t ~overlap] draws [S] and
+    [T] with [|S| = size_s], [|T| = size_t] and [|S ∩ T| = overlap]
+    exactly.  Requires [overlap <= min size_s size_t] and
+    [size_s + size_t - overlap <= universe]. *)
+val pair_with_overlap :
+  Prng.Rng.t -> universe:int -> size_s:int -> size_t:int -> overlap:int -> pair
+
+(** [zipf_pair rng ~universe ~size ~exponent] draws both sets by sampling
+    (without replacement) from a Zipf([exponent]) distribution over the
+    universe, the shape of element popularity in text / database workloads;
+    overlap emerges naturally from the shared head of the distribution. *)
+val zipf_pair : Prng.Rng.t -> universe:int -> size:int -> exponent:float -> pair
+
+(** [family_with_core rng ~universe ~players ~size ~core] draws [players]
+    sets of [size] elements sharing a common core of [core] elements (the
+    multi-party intersection is exactly that core whenever the private parts
+    are disjoint from it, which the generator enforces). *)
+val family_with_core :
+  Prng.Rng.t -> universe:int -> players:int -> size:int -> core:int -> int array array
+
+(** Ground-truth helpers on sorted arrays. *)
+val intersect : int array -> int array -> int array
+
+val union : int array -> int array -> int array
+val is_sorted_set : int array -> bool

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Commsim Intersect Iset List Printf Prng QCheck QCheck_alcotest String Workload

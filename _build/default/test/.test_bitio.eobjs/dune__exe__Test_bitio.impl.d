@@ -1,0 +1,1 @@
+test/test_bitio.ml: Alcotest Array Bignat Bitbuf Bitio Bitreader Bits Codes Enum_codec Float Fun List Printf QCheck QCheck_alcotest Set_codec

@@ -1,0 +1,1 @@
+test/test_commsim.ml: Alcotest Array Bitio Chan Commsim Cost Fun List Network Two_party

@@ -1,0 +1,1 @@
+test/test_core_blocks.ml: Alcotest Array Basic_intersection Bitio Commsim Eq_batch Equality Intersect Iset Iterated_log List Printf Prng QCheck QCheck_alcotest Strhash String Vtree Wire Workload

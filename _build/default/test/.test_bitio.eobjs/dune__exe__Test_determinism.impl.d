@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Basic_intersection Bucket_protocol Commsim Intersect Iset List Multiparty One_round_hash Private_coin Prng Protocol Tree_protocol Trivial Verified Workload

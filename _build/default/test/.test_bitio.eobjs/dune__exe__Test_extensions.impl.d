@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Apps Array Bitio Commsim Equality Hashing Intersect Iset List Multiparty Printf Private_coin Prng Protocol Tree_protocol Trivial Workload

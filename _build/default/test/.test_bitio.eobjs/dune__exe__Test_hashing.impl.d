@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Carter_wegman Fks Hash_family Hashing Hashtbl Int64 List Modarith Multiply_shift Prime Prng Tabulation

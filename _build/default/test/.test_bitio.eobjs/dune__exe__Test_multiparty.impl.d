@@ -1,0 +1,1 @@
+test/test_multiparty.ml: Alcotest Array Bitio Commsim Iset List Multiparty Printf Prng Workload

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Printf Prng QCheck QCheck_alcotest Rng Splitmix64

@@ -1,0 +1,1 @@
+test/test_workload_stats.ml: Alcotest Array Fun Iset Printf Prng QCheck QCheck_alcotest Stats String Workload

@@ -1,0 +1,418 @@
+(* Unit and property tests for the bit-level encoding substrate. *)
+
+open Bitio
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Bits ---------- *)
+
+let test_bits_of_bools () =
+  let b = Bits.of_bools [ true; false; true; true ] in
+  check "length" 4 (Bits.length b);
+  check_bool "bit 0" true (Bits.get b 0);
+  check_bool "bit 1" false (Bits.get b 1);
+  check_bool "bit 3" true (Bits.get b 3);
+  Alcotest.(check (list bool)) "roundtrip" [ true; false; true; true ] (Bits.to_bools b)
+
+let test_bits_get_bounds () =
+  let b = Bits.of_bools [ true ] in
+  Alcotest.check_raises "negative" (Invalid_argument "Bits.get: index out of bounds") (fun () ->
+      ignore (Bits.get b (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Bits.get: index out of bounds") (fun () ->
+      ignore (Bits.get b 1))
+
+let test_bits_equal () =
+  let a = Bits.of_bools [ true; false; true ] in
+  let b = Bits.of_bools [ true; false; true ] in
+  let c = Bits.of_bools [ true; false; false ] in
+  let d = Bits.of_bools [ true; false ] in
+  check_bool "equal" true (Bits.equal a b);
+  check_bool "different bit" false (Bits.equal a c);
+  check_bool "different length" false (Bits.equal a d);
+  check_bool "empty" true (Bits.equal Bits.empty Bits.empty)
+
+let test_bits_concat () =
+  let a = Bits.of_bools [ true; true; false ] in
+  let b = Bits.of_bools [ false; true ] in
+  let ab = Bits.concat a b in
+  check "length" 5 (Bits.length ab);
+  Alcotest.(check (list bool)) "contents" [ true; true; false; false; true ] (Bits.to_bools ab);
+  check_bool "concat empty left" true (Bits.equal a (Bits.concat Bits.empty a));
+  check_bool "concat empty right" true (Bits.equal a (Bits.concat a Bits.empty))
+
+let test_bits_of_string () =
+  let b = Bits.of_string "A" (* 0x41 = 0b01000001 *) in
+  check "length" 8 (Bits.length b);
+  check_bool "lsb set" true (Bits.get b 0);
+  check_bool "bit 6 set" true (Bits.get b 6);
+  check_bool "bit 7 clear" false (Bits.get b 7)
+
+(* ---------- Bitbuf / Bitreader ---------- *)
+
+let test_write_read_bits () =
+  let buf = Bitbuf.create () in
+  Bitbuf.write_bits buf ~width:5 19;
+  Bitbuf.write_bits buf ~width:0 0;
+  Bitbuf.write_bits buf ~width:13 4095;
+  Bitbuf.write_bit buf true;
+  let r = Bitreader.create (Bitbuf.contents buf) in
+  check "first" 19 (Bitreader.read_bits r ~width:5);
+  check "zero width" 0 (Bitreader.read_bits r ~width:0);
+  check "second" 4095 (Bitreader.read_bits r ~width:13);
+  check_bool "bit" true (Bitreader.read_bit r);
+  check "remaining" 0 (Bitreader.remaining r)
+
+let test_bitbuf_width_checks () =
+  let buf = Bitbuf.create () in
+  Alcotest.check_raises "too wide" (Invalid_argument "Bitbuf.write_bits: width") (fun () ->
+      Bitbuf.write_bits buf ~width:63 0);
+  Alcotest.check_raises "doesn't fit" (Invalid_argument "Bitbuf.write_bits: value does not fit width")
+    (fun () -> Bitbuf.write_bits buf ~width:3 8)
+
+let test_reader_underflow () =
+  let r = Bitreader.create (Bits.of_bools [ true ]) in
+  ignore (Bitreader.read_bit r);
+  Alcotest.check_raises "underflow" Bitreader.Underflow (fun () -> ignore (Bitreader.read_bit r))
+
+let test_bitbuf_growth () =
+  let buf = Bitbuf.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Bitbuf.write_bits buf ~width:10 (i mod 1024)
+  done;
+  let r = Bitreader.create (Bitbuf.contents buf) in
+  for i = 0 to 999 do
+    check "value" (i mod 1024) (Bitreader.read_bits r ~width:10)
+  done
+
+(* ---------- Codes ---------- *)
+
+let test_bit_width () =
+  check "1" 1 (Codes.bit_width 1);
+  check "2" 2 (Codes.bit_width 2);
+  check "255" 8 (Codes.bit_width 255);
+  check "256" 9 (Codes.bit_width 256)
+
+let roundtrip_code name write read cost values () =
+  List.iter
+    (fun v ->
+      let buf = Bitbuf.create () in
+      write buf v;
+      (match cost with
+      | Some cost -> check (Printf.sprintf "%s cost of %d" name v) (cost v) (Bitbuf.length buf)
+      | None -> ());
+      let r = Bitreader.create (Bitbuf.contents buf) in
+      check (Printf.sprintf "%s roundtrip of %d" name v) v (read r);
+      check "fully consumed" 0 (Bitreader.remaining r))
+    values
+
+let small_values = [ 0; 1; 2; 3; 7; 8; 100; 1 lsl 20; (1 lsl 40) + 17 ]
+
+let test_gamma = roundtrip_code "gamma" Codes.write_gamma Codes.read_gamma (Some Codes.gamma_cost) small_values
+let test_delta = roundtrip_code "delta" Codes.write_delta Codes.read_delta (Some Codes.delta_cost) small_values
+
+let test_varint =
+  roundtrip_code "varint" Codes.write_varint Codes.read_varint (Some Codes.varint_cost) small_values
+
+let test_unary = roundtrip_code "unary" Codes.write_unary Codes.read_unary None [ 0; 1; 5; 63 ]
+
+let test_rice () =
+  (* Values sized so the unary quotient stays small: Rice is only sensible
+     when the parameter is near log2 of the data. *)
+  List.iter
+    (fun k ->
+      let values = [ 0; 1; 2; (1 lsl k) - 1; 1 lsl k; (1 lsl k) + 1; 40 * (1 lsl k) ] in
+      roundtrip_code "rice"
+        (fun buf v -> Codes.write_rice buf ~k v)
+        (fun r -> Codes.read_rice r ~k)
+        (Some (fun v -> Codes.rice_cost ~k v))
+        values ())
+    [ 0; 1; 4; 9 ]
+
+let test_gamma_cost_shape () =
+  (* Gamma spends 2 log n + O(1): strictly less than 25 bits for n < 2^12. *)
+  for n = 0 to 4095 do
+    if Codes.gamma_cost n > 25 then Alcotest.failf "gamma cost %d too large for %d" (Codes.gamma_cost n) n
+  done
+
+let prop_gamma_roundtrip =
+  QCheck.Test.make ~name:"gamma roundtrip (random)" ~count:500
+    QCheck.(map abs small_signed_int)
+    (fun v ->
+      let buf = Bitbuf.create () in
+      Codes.write_gamma buf v;
+      let r = Bitreader.create (Bitbuf.contents buf) in
+      Codes.read_gamma r = v)
+
+let prop_mixed_stream =
+  (* Interleave several codes in one stream; everything must read back in order. *)
+  QCheck.Test.make ~name:"mixed code stream roundtrip" ~count:200
+    QCheck.(list (pair (int_bound 3) (map abs small_signed_int)))
+    (fun items ->
+      let buf = Bitbuf.create () in
+      List.iter
+        (fun (code, v) ->
+          match code with
+          | 0 -> Codes.write_gamma buf v
+          | 1 -> Codes.write_delta buf v
+          | 2 -> Codes.write_varint buf v
+          | _ -> Codes.write_rice buf ~k:3 v)
+        items;
+      let r = Bitreader.create (Bitbuf.contents buf) in
+      List.for_all
+        (fun (code, v) ->
+          let got =
+            match code with
+            | 0 -> Codes.read_gamma r
+            | 1 -> Codes.read_delta r
+            | 2 -> Codes.read_varint r
+            | _ -> Codes.read_rice r ~k:3
+          in
+          got = v)
+        items)
+
+let test_extract_matches_get () =
+  let b = Bits.of_bools (List.init 100 (fun i -> i mod 3 = 0 || i mod 7 = 1)) in
+  for pos = 0 to 99 do
+    for width = 0 to min 24 (100 - pos) do
+      let v = Bits.extract b ~pos ~width in
+      for j = 0 to width - 1 do
+        if Bits.get b (pos + j) <> (v land (1 lsl j) <> 0) then
+          Alcotest.failf "extract mismatch at pos=%d width=%d bit=%d" pos width j
+      done
+    done
+  done
+
+let test_read_blob_misaligned () =
+  let buf = Bitbuf.create () in
+  Bitbuf.write_bits buf ~width:3 5;
+  let payload = Bits.of_bools (List.init 77 (fun i -> i mod 5 < 2)) in
+  Bitbuf.append buf payload;
+  Bitbuf.write_bits buf ~width:7 99;
+  let r = Bitreader.create (Bitbuf.contents buf) in
+  check "prefix" 5 (Bitreader.read_bits r ~width:3);
+  let blob = Bitreader.read_blob r ~bits:77 in
+  check_bool "blob equal" true (Bits.equal payload blob);
+  check "suffix" 99 (Bitreader.read_bits r ~width:7)
+
+let prop_append_concat_agree =
+  QCheck.Test.make ~name:"Bitbuf.append = Bits.concat" ~count:300
+    QCheck.(pair (list bool) (list bool))
+    (fun (xs, ys) ->
+      let a = Bits.of_bools xs and b = Bits.of_bools ys in
+      let buf = Bitbuf.create () in
+      Bitbuf.append buf a;
+      Bitbuf.append buf b;
+      Bits.equal (Bitbuf.contents buf) (Bits.concat a b))
+
+let sorted_set_gen =
+  QCheck.Gen.(
+    list_size (int_bound 50) (int_bound 10_000) >|= fun l ->
+    Array.of_list (List.sort_uniq compare l))
+
+let sorted_set = QCheck.make ~print:(fun a -> QCheck.Print.(array int) a) sorted_set_gen
+
+(* ---------- Bignat ---------- *)
+
+let test_bignat_basic () =
+  check_bool "zero" true (Bignat.is_zero Bignat.zero);
+  Alcotest.(check (option int)) "roundtrip" (Some 123456789) (Bignat.to_int_opt (Bignat.of_int 123456789));
+  Alcotest.(check (option int)) "max_int" (Some max_int) (Bignat.to_int_opt (Bignat.of_int max_int));
+  check "compare" 0 (Bignat.compare (Bignat.of_int 42) (Bignat.of_int 42));
+  check_bool "lt" true (Bignat.compare (Bignat.of_int 41) (Bignat.of_int 42) < 0)
+
+let test_bignat_arithmetic () =
+  let a = Bignat.of_int 999_999_999_999 and b = Bignat.of_int 123_456_789 in
+  Alcotest.(check (option int)) "add" (Some 1_000_123_456_788) (Bignat.to_int_opt (Bignat.add a b));
+  Alcotest.(check (option int)) "sub" (Some 999_876_543_210) (Bignat.to_int_opt (Bignat.sub a b));
+  Alcotest.(check (option int)) "mul_small" (Some 2_999_999_999_997)
+    (Bignat.to_int_opt (Bignat.mul_small a 3));
+  let q, r = Bignat.div_small a 7 in
+  Alcotest.(check (option int)) "div q" (Some 142_857_142_857) (Bignat.to_int_opt q);
+  check "div r" 0 r
+
+let test_bignat_big () =
+  (* 2^200 via repeated doubling: bit_length must be 201 and only bit 200
+     set. *)
+  let v = ref Bignat.one in
+  for _ = 1 to 200 do
+    v := Bignat.mul_small !v 2
+  done;
+  check "bit length" 201 (Bignat.bit_length !v);
+  check_bool "top bit" true (Bignat.bit !v 200);
+  check_bool "low bit" false (Bignat.bit !v 0);
+  Alcotest.(check (option int)) "too big" None (Bignat.to_int_opt !v);
+  (* divide back down *)
+  let w = ref !v in
+  for _ = 1 to 200 do
+    let q, r = Bignat.div_small !w 2 in
+    check "even" 0 r;
+    w := q
+  done;
+  check_bool "back to one" true (Bignat.equal !w Bignat.one)
+
+let test_bignat_binomial () =
+  let check_binom n k expected =
+    Alcotest.(check (option int))
+      (Printf.sprintf "C(%d,%d)" n k)
+      (Some expected)
+      (Bignat.to_int_opt (Bignat.binomial n k))
+  in
+  check_binom 10 5 252;
+  check_binom 52 5 2_598_960;
+  check_binom 7 0 1;
+  check_binom 7 7 1;
+  check_binom 3 5 0;
+  (* C(1000, 500) has about 995 bits *)
+  let big = Bignat.binomial 1000 500 in
+  check_bool "big binomial size" true (Bignat.bit_length big > 980 && Bignat.bit_length big < 1000)
+
+let prop_pascal =
+  QCheck.Test.make ~name:"Pascal identity C(n,k)=C(n-1,k-1)+C(n-1,k)" ~count:200
+    QCheck.(pair (int_range 1 300) (int_range 0 300))
+    (fun (n, k) ->
+      Bignat.equal (Bignat.binomial n k)
+        (Bignat.add (Bignat.binomial (n - 1) (k - 1)) (Bignat.binomial (n - 1) k)))
+
+(* ---------- Enum_codec ---------- *)
+
+let prop_enum_roundtrip =
+  QCheck.Test.make ~name:"enumerative codec roundtrip" ~count:150 sorted_set (fun s ->
+      let universe = 10_001 in
+      let buf = Bitbuf.create () in
+      Enum_codec.write buf ~universe s;
+      let r = Bitreader.create (Bitbuf.contents buf) in
+      Enum_codec.read r ~universe = s && Bitbuf.length buf = Enum_codec.cost ~universe ~k:(Array.length s))
+
+let test_enum_exactly_entropy () =
+  (* The payload is exactly ceil(log2 C(n,k)) bits. *)
+  let universe = 4096 and k = 128 in
+  let entropy = Set_codec.log2_binomial universe k in
+  let cost = Enum_codec.cost ~universe ~k - Codes.gamma_cost k in
+  check "ceil entropy" (int_of_float (Float.ceil entropy)) cost
+
+let test_enum_beats_gaps () =
+  (* On a dense set the enumerative code is strictly tighter than gaps. *)
+  let universe = 1024 and k = 256 in
+  let s = Array.init k (fun i -> i * 4) in
+  let gaps = Set_codec.gaps_cost s in
+  let enum = Enum_codec.cost ~universe ~k in
+  check_bool (Printf.sprintf "enum %d < gaps %d" enum gaps) true (enum < gaps)
+
+let test_enum_extremes () =
+  let roundtrip universe s =
+    let buf = Bitbuf.create () in
+    Enum_codec.write buf ~universe s;
+    let r = Bitreader.create (Bitbuf.contents buf) in
+    Alcotest.(check (array int)) "roundtrip" s (Enum_codec.read r ~universe)
+  in
+  roundtrip 100 [||];
+  roundtrip 100 [| 0 |];
+  roundtrip 100 [| 99 |];
+  roundtrip 100 (Array.init 100 Fun.id);
+  roundtrip 2 [| 0; 1 |]
+
+(* ---------- Set_codec ---------- *)
+
+let prop_gaps_roundtrip =
+  QCheck.Test.make ~name:"set gaps roundtrip" ~count:300 sorted_set (fun s ->
+      let buf = Bitbuf.create () in
+      Set_codec.write_gaps buf s;
+      let r = Bitreader.create (Bitbuf.contents buf) in
+      Set_codec.read_gaps r = s)
+
+let prop_fixed_roundtrip =
+  QCheck.Test.make ~name:"set fixed roundtrip" ~count:300 sorted_set (fun s ->
+      let universe = 10_001 in
+      let buf = Bitbuf.create () in
+      Set_codec.write_fixed buf ~universe s;
+      let r = Bitreader.create (Bitbuf.contents buf) in
+      Set_codec.read_fixed r ~universe = s)
+
+let prop_gaps_cost_exact =
+  QCheck.Test.make ~name:"gaps_cost matches written bits" ~count:300 sorted_set (fun s ->
+      let buf = Bitbuf.create () in
+      Set_codec.write_gaps buf s;
+      Bitbuf.length buf = Set_codec.gaps_cost s)
+
+let test_gaps_near_entropy () =
+  (* The gap encoding of a k-subset of [n] should stay within a small
+     constant factor of log2 (binom n k) for a dense-ish arithmetic set. *)
+  let n = 1 lsl 16 and k = 1 lsl 10 in
+  let s = Array.init k (fun i -> i * (n / k)) in
+  let cost = float_of_int (Set_codec.gaps_cost s) in
+  let entropy = Set_codec.log2_binomial n k in
+  if cost > 3.0 *. entropy then
+    Alcotest.failf "gap encoding too fat: %.0f bits vs entropy %.0f" cost entropy
+
+let test_codec_validation () =
+  let buf = Bitbuf.create () in
+  Alcotest.check_raises "unsorted" (Invalid_argument "Set_codec: not strictly increasing") (fun () ->
+      Set_codec.write_fixed buf ~universe:10 [| 3; 2 |]);
+  Alcotest.check_raises "out of universe" (Invalid_argument "Set_codec: element out of universe")
+    (fun () -> Set_codec.write_fixed buf ~universe:10 [| 3; 10 |])
+
+let test_log2_binomial () =
+  (* binom(10, 5) = 252 -> log2 = 7.977... *)
+  let v = Set_codec.log2_binomial 10 5 in
+  if abs_float (v -. 7.977) > 0.01 then Alcotest.failf "log2_binomial 10 5 = %f" v
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bitio"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "of_bools/get" `Quick test_bits_of_bools;
+          Alcotest.test_case "get bounds" `Quick test_bits_get_bounds;
+          Alcotest.test_case "equal" `Quick test_bits_equal;
+          Alcotest.test_case "concat" `Quick test_bits_concat;
+          Alcotest.test_case "of_string" `Quick test_bits_of_string;
+        ] );
+      ( "bitbuf",
+        [
+          Alcotest.test_case "write/read widths" `Quick test_write_read_bits;
+          Alcotest.test_case "width checks" `Quick test_bitbuf_width_checks;
+          Alcotest.test_case "underflow" `Quick test_reader_underflow;
+          Alcotest.test_case "growth" `Quick test_bitbuf_growth;
+          Alcotest.test_case "extract matches get" `Quick test_extract_matches_get;
+          Alcotest.test_case "read_blob misaligned" `Quick test_read_blob_misaligned;
+          qt prop_append_concat_agree;
+        ] );
+      ( "bignat",
+        [
+          Alcotest.test_case "basics" `Quick test_bignat_basic;
+          Alcotest.test_case "arithmetic" `Quick test_bignat_arithmetic;
+          Alcotest.test_case "big values" `Quick test_bignat_big;
+          Alcotest.test_case "binomial" `Quick test_bignat_binomial;
+          qt prop_pascal;
+        ] );
+      ( "enum_codec",
+        [
+          qt prop_enum_roundtrip;
+          Alcotest.test_case "exactly entropy" `Quick test_enum_exactly_entropy;
+          Alcotest.test_case "beats gaps on dense sets" `Quick test_enum_beats_gaps;
+          Alcotest.test_case "extremes" `Quick test_enum_extremes;
+        ] );
+      ( "codes",
+        [
+          Alcotest.test_case "bit_width" `Quick test_bit_width;
+          Alcotest.test_case "gamma roundtrip+cost" `Quick test_gamma;
+          Alcotest.test_case "delta roundtrip+cost" `Quick test_delta;
+          Alcotest.test_case "varint roundtrip+cost" `Quick test_varint;
+          Alcotest.test_case "unary roundtrip" `Quick test_unary;
+          Alcotest.test_case "rice roundtrip+cost" `Quick test_rice;
+          Alcotest.test_case "gamma cost shape" `Quick test_gamma_cost_shape;
+          qt prop_gamma_roundtrip;
+          qt prop_mixed_stream;
+        ] );
+      ( "set_codec",
+        [
+          qt prop_gaps_roundtrip;
+          qt prop_fixed_roundtrip;
+          qt prop_gaps_cost_exact;
+          Alcotest.test_case "near entropy" `Quick test_gaps_near_entropy;
+          Alcotest.test_case "validation" `Quick test_codec_validation;
+          Alcotest.test_case "log2_binomial" `Quick test_log2_binomial;
+        ] );
+    ]

@@ -1,0 +1,250 @@
+(* Tests for the message-passing multi-party protocols (Section 4):
+   the multiplexer, the star/coordinator protocol (Corollary 4.1) and the
+   binary-tournament protocol (Corollary 4.2). *)
+
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let iset = Alcotest.testable (fun ppf s -> Iset.pp ppf s) Iset.equal
+
+(* ---------- Group ---------- *)
+
+let test_group_size () =
+  check "k=3" 8 (Multiparty.Group.size ~k:3);
+  check "k=10" 1024 (Multiparty.Group.size ~k:10);
+  check "capped" (1 lsl 20) (Multiparty.Group.size ~k:64)
+
+let test_group_chunk () =
+  Alcotest.(check (list (list int)))
+    "chunks"
+    [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7 ] ]
+    (Multiparty.Group.chunk [ 1; 2; 3; 4; 5; 6; 7 ] ~size:3);
+  Alcotest.(check (list (list int))) "single" [ [ 1; 2 ] ] (Multiparty.Group.chunk [ 1; 2 ] ~size:5)
+
+let test_group_levels () =
+  check "one level" 1 (Multiparty.Group.levels ~m:10 ~k:5);
+  (* k=3 -> groups of 8: 100 -> 13 -> 2 -> 1 *)
+  check "three levels" 3 (Multiparty.Group.levels ~m:100 ~k:3);
+  check "two levels" 2 (Multiparty.Group.levels ~m:60 ~k:3);
+  check "m=1" 1 (Multiparty.Group.levels ~m:1 ~k:3)
+
+(* ---------- Multiplex ---------- *)
+
+let bits_of_int ~width v =
+  let buf = Bitio.Bitbuf.create () in
+  Bitio.Bitbuf.write_bits buf ~width v;
+  Bitio.Bitbuf.contents buf
+
+let int_of_bits ~width payload = Bitio.Bitreader.read_bits (Bitio.Bitreader.create payload) ~width
+
+let test_multiplex_parallel_sessions () =
+  (* Coordinator ping-pongs 3 volleys with each of 4 members concurrently:
+     rounds must be 6 (per-conversation chain), not 24 (serialized). *)
+  let m = 5 in
+  let volleys = 3 in
+  let member ep =
+    let chan = Commsim.Chan.of_endpoint ep ~peer:0 in
+    for v = 1 to volleys do
+      chan.Commsim.Chan.send (bits_of_int ~width:8 v);
+      ignore (chan.Commsim.Chan.recv ())
+    done;
+    0
+  in
+  let coordinator ep =
+    let session _peer chan =
+      let total = ref 0 in
+      for _ = 1 to volleys do
+        total := !total + int_of_bits ~width:8 (chan.Commsim.Chan.recv ());
+        chan.Commsim.Chan.send (bits_of_int ~width:8 1)
+      done;
+      !total
+    in
+    let results =
+      Commsim.Multiplex.run ep (List.init (m - 1) (fun i -> (i + 1, session (i + 1))))
+    in
+    List.fold_left ( + ) 0 results
+  in
+  let players =
+    Array.init m (fun rank -> if rank = 0 then coordinator else member)
+  in
+  let results, cost = Commsim.Network.run players in
+  check "coordinator total" (4 * (1 + 2 + 3)) results.(0);
+  check "rounds stay per-conversation" (2 * volleys) cost.Commsim.Cost.rounds
+
+let test_multiplex_rejects_duplicate_peers () =
+  let player ep =
+    if Commsim.Network.rank ep = 0 then
+      ignore (Commsim.Multiplex.run ep [ (1, fun _ -> ()); (1, (fun _ -> ())) ])
+  in
+  match Commsim.Network.run (Array.make 2 player) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid_arg"
+
+let test_multiplex_uneven_sessions () =
+  (* Sessions of different lengths finish independently. *)
+  let member depth ep =
+    let chan = Commsim.Chan.of_endpoint ep ~peer:0 in
+    for v = 1 to depth do
+      chan.Commsim.Chan.send (bits_of_int ~width:8 v);
+      ignore (chan.Commsim.Chan.recv ())
+    done
+  in
+  let coordinator ep =
+    let session depth chan =
+      for _ = 1 to depth do
+        ignore (chan.Commsim.Chan.recv ());
+        chan.Commsim.Chan.send (bits_of_int ~width:8 0)
+      done;
+      depth
+    in
+    Commsim.Multiplex.run ep [ (1, session 1); (2, session 5); (3, session 2) ]
+  in
+  let players =
+    [|
+      (fun ep -> ignore (coordinator ep));
+      member 1;
+      member 5;
+      member 2;
+    |]
+  in
+  let _, cost = Commsim.Network.run players in
+  check "rounds = longest session" 10 cost.Commsim.Cost.rounds
+
+(* ---------- Star (Corollary 4.1) ---------- *)
+
+let family seed ~universe ~players ~size ~core =
+  Workload.Setgen.family_with_core (Prng.Rng.of_int seed) ~universe ~players ~size ~core
+
+let expected_intersection sets = Iset.inter_many (Array.to_list sets)
+
+let test_star_exact () =
+  List.iter
+    (fun (players, size, core) ->
+      let sets = family (players * 100 + size) ~universe:1_000_000 ~players ~size ~core in
+      let result, _ =
+        Multiparty.Star.run (Prng.Rng.of_int 42) ~universe:1_000_000 ~k:size sets
+      in
+      Alcotest.check iset
+        (Printf.sprintf "m=%d k=%d core=%d" players size core)
+        (expected_intersection sets) result)
+    [ (2, 16, 4); (3, 20, 7); (8, 32, 10); (16, 24, 24); (16, 24, 0); (40, 16, 5) ]
+
+let test_star_recursion_levels () =
+  (* k=3 -> groups of 8; m=20 forces two levels of recursion. *)
+  let sets = family 77 ~universe:100000 ~players:20 ~size:3 ~core:1 in
+  let result, _ = Multiparty.Star.run (Prng.Rng.of_int 7) ~universe:100000 ~k:3 sets in
+  Alcotest.check iset "two-level recursion" (expected_intersection sets) result
+
+let test_star_single_player () =
+  let result, cost = Multiparty.Star.run (Prng.Rng.of_int 1) ~universe:100 ~k:4 [| [| 1; 2 |] |] in
+  Alcotest.check iset "identity" [| 1; 2 |] result;
+  check "no communication" 0 cost.Commsim.Cost.total_bits
+
+let test_star_empty_intersection () =
+  let sets = [| [| 1; 2; 3 |]; [| 4; 5; 6 |]; [| 7; 8; 9 |] |] in
+  let result, _ = Multiparty.Star.run (Prng.Rng.of_int 9) ~universe:1000 ~k:3 sets in
+  Alcotest.check iset "empty" Iset.empty result
+
+let test_star_identical_sets () =
+  let base = Iset.of_list (List.init 30 (fun i -> i * 11)) in
+  let sets = Array.make 6 base in
+  let result, _ = Multiparty.Star.run (Prng.Rng.of_int 11) ~universe:1000 ~k:30 sets in
+  Alcotest.check iset "full" base result
+
+let test_star_average_communication_linear_in_m () =
+  (* total bits should grow ~linearly with m (O(k) avg per player). *)
+  let bits_for m =
+    let sets = family (m + 5) ~universe:1_000_000 ~players:m ~size:32 ~core:8 in
+    let _, cost = Multiparty.Star.run (Prng.Rng.of_int m) ~universe:1_000_000 ~k:32 sets in
+    cost.Commsim.Cost.total_bits
+  in
+  let b8 = bits_for 8 and b32 = bits_for 32 in
+  (* 4x players: expect ~4x total bits, allow generous slack *)
+  check_bool
+    (Printf.sprintf "b8=%d b32=%d" b8 b32)
+    true
+    (b32 < 8 * b8 && b32 > 2 * b8)
+
+(* ---------- Tournament (Corollary 4.2) ---------- *)
+
+let test_tournament_exact () =
+  List.iter
+    (fun (players, size, core) ->
+      let sets = family (players * 31 + size) ~universe:1_000_000 ~players ~size ~core in
+      let result, _ =
+        Multiparty.Tournament.run (Prng.Rng.of_int 13) ~universe:1_000_000 ~k:size sets
+      in
+      Alcotest.check iset
+        (Printf.sprintf "m=%d k=%d core=%d" players size core)
+        (expected_intersection sets) result)
+    [ (2, 16, 5); (4, 20, 6); (7, 24, 9); (16, 16, 16); (16, 16, 0); (33, 12, 4) ]
+
+let test_tournament_recursion_levels () =
+  let sets = family 99 ~universe:100000 ~players:20 ~size:3 ~core:2 in
+  let result, _ = Multiparty.Tournament.run (Prng.Rng.of_int 19) ~universe:100000 ~k:3 sets in
+  Alcotest.check iset "two levels" (expected_intersection sets) result
+
+let test_tournament_worst_case_beats_star_hotspot () =
+  (* The whole point of Corollary 4.2: the busiest player carries less
+     traffic than the star coordinator at the same scale. *)
+  let m = 32 and k = 16 in
+  let sets = family 123 ~universe:1_000_000 ~players:m ~size:k ~core:4 in
+  let _, star_cost = Multiparty.Star.run (Prng.Rng.of_int 3) ~universe:1_000_000 ~k sets in
+  let _, tour_cost = Multiparty.Tournament.run (Prng.Rng.of_int 3) ~universe:1_000_000 ~k sets in
+  let star_max = Commsim.Cost.max_player_bits star_cost in
+  let tour_max = Commsim.Cost.max_player_bits tour_cost in
+  check_bool
+    (Printf.sprintf "tournament max/player %d < star max/player %d" tour_max star_max)
+    true (tour_max < star_max)
+
+let test_tournament_single_player () =
+  let result, _ = Multiparty.Tournament.run (Prng.Rng.of_int 2) ~universe:100 ~k:2 [| [| 5 |] |] in
+  Alcotest.check iset "identity" [| 5 |] result
+
+let test_tournament_non_power_of_two () =
+  List.iter
+    (fun players ->
+      let sets = family (1000 + players) ~universe:100000 ~players ~size:8 ~core:3 in
+      let result, _ =
+        Multiparty.Tournament.run (Prng.Rng.of_int players) ~universe:100000 ~k:8 sets
+      in
+      Alcotest.check iset
+        (Printf.sprintf "m=%d" players)
+        (expected_intersection sets) result)
+    [ 3; 5; 6; 9; 11; 13 ]
+
+let () =
+  Alcotest.run "multiparty"
+    [
+      ( "group",
+        [
+          Alcotest.test_case "size" `Quick test_group_size;
+          Alcotest.test_case "chunk" `Quick test_group_chunk;
+          Alcotest.test_case "levels" `Quick test_group_levels;
+        ] );
+      ( "multiplex",
+        [
+          Alcotest.test_case "parallel sessions" `Quick test_multiplex_parallel_sessions;
+          Alcotest.test_case "duplicate peers rejected" `Quick test_multiplex_rejects_duplicate_peers;
+          Alcotest.test_case "uneven sessions" `Quick test_multiplex_uneven_sessions;
+        ] );
+      ( "star",
+        [
+          Alcotest.test_case "exact" `Quick test_star_exact;
+          Alcotest.test_case "recursion levels" `Quick test_star_recursion_levels;
+          Alcotest.test_case "single player" `Quick test_star_single_player;
+          Alcotest.test_case "empty intersection" `Quick test_star_empty_intersection;
+          Alcotest.test_case "identical sets" `Quick test_star_identical_sets;
+          Alcotest.test_case "avg communication linear in m" `Quick
+            test_star_average_communication_linear_in_m;
+        ] );
+      ( "tournament",
+        [
+          Alcotest.test_case "exact" `Quick test_tournament_exact;
+          Alcotest.test_case "recursion levels" `Quick test_tournament_recursion_levels;
+          Alcotest.test_case "beats star hotspot" `Quick test_tournament_worst_case_beats_star_hotspot;
+          Alcotest.test_case "single player" `Quick test_tournament_single_player;
+          Alcotest.test_case "non power of two" `Quick test_tournament_non_power_of_two;
+        ] );
+    ]

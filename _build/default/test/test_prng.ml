@@ -1,0 +1,152 @@
+(* Tests for the deterministic randomness substrate: determinism, domain
+   separation (the "common random string" contract) and coarse statistics. *)
+
+open Prng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_splitmix_reference () =
+  (* Reference outputs for seed 0 from the published SplitMix64 algorithm. *)
+  let g = Splitmix64.create 0L in
+  Alcotest.(check string) "first" "e220a8397b1dcdaf" (Printf.sprintf "%Lx" (Splitmix64.next g));
+  Alcotest.(check string) "second" "6e789e6aa1b965f4" (Printf.sprintf "%Lx" (Splitmix64.next g));
+  Alcotest.(check string) "third" "6c45d188009454f" (Printf.sprintf "%Lx" (Splitmix64.next g))
+
+let test_determinism () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_label_independent_of_position () =
+  (* The whole point of with_label: both parties derive the same stream no
+     matter how much they already consumed from their own copy. *)
+  let a = Rng.of_int 7 in
+  let b = Rng.of_int 7 in
+  for _ = 1 to 13 do
+    ignore (Rng.int64 b)
+  done;
+  let la = Rng.with_label a "stage1/node3" in
+  let lb = Rng.with_label b "stage1/node3" in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "label stream equal" (Rng.int64 la) (Rng.int64 lb)
+  done
+
+let test_labels_distinct () =
+  let root = Rng.of_int 7 in
+  let a = Rng.int64 (Rng.with_label root "x") in
+  let b = Rng.int64 (Rng.with_label root "y") in
+  check_bool "different labels differ" true (a <> b)
+
+let test_split_advances () =
+  let root = Rng.of_int 3 in
+  let a = Rng.split root in
+  let b = Rng.split root in
+  check_bool "children differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_int_bounds () =
+  let rng = Rng.of_int 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  check "bound 1" 0 (Rng.int rng 1)
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.of_int 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  (* Chi-square-ish sanity: 10 buckets, 100k draws; each bucket within 5%. *)
+  let rng = Rng.of_int 99 in
+  let counts = Array.make 10 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 10 in
+      if abs (c - expected) > expected / 20 then Alcotest.failf "bucket %d count %d" i c)
+    counts
+
+let test_bits_width () =
+  let rng = Rng.of_int 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.bits rng ~width:7 in
+    if v < 0 || v >= 128 then Alcotest.failf "bits out of range: %d" v
+  done;
+  check "width 0" 0 (Rng.bits rng ~width:0)
+
+let test_float_range () =
+  let rng = Rng.of_int 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_bernoulli_mean () =
+  let rng = Rng.of_int 21 in
+  let trials = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int trials in
+  if abs_float (mean -. 0.3) > 0.02 then Alcotest.failf "bernoulli mean %f" mean
+
+let test_geometric_mean () =
+  (* E[failures before success] = (1-p)/p = 1 for p = 1/2. *)
+  let rng = Rng.of_int 31 in
+  let trials = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to trials do
+    sum := !sum + Rng.geometric rng ~p:0.5
+  done;
+  let mean = float_of_int !sum /. float_of_int trials in
+  if abs_float (mean -. 1.0) > 0.05 then Alcotest.failf "geometric mean %f" mean;
+  check "p = 1 is constant 0" 0 (Rng.geometric rng ~p:1.0)
+
+let test_shuffle_permutes () =
+  let rng = Rng.of_int 8 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 100 (fun i -> i)) sorted;
+  check_bool "actually moved something" true (a <> Array.init 100 (fun i -> i))
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always in bounds" ~count:1000
+    QCheck.(pair small_signed_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.of_int seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [ Alcotest.test_case "reference vectors" `Quick test_splitmix_reference ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "label independent of position" `Quick test_label_independent_of_position;
+          Alcotest.test_case "labels distinct" `Quick test_labels_distinct;
+          Alcotest.test_case "split advances" `Quick test_split_advances;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "bits width" `Quick test_bits_width;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "bernoulli mean" `Quick test_bernoulli_mean;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          qt prop_int_in_bounds;
+        ] );
+    ]

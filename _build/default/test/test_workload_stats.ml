@@ -1,0 +1,206 @@
+(* Tests for the workload generators and the statistics/table helpers that
+   back the experiment harness. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Setgen ---------- *)
+
+let rng seed = Prng.Rng.of_int seed
+
+let test_random_set () =
+  let s = Workload.Setgen.random_set (rng 1) ~universe:1000 ~size:100 in
+  check "size" 100 (Array.length s);
+  check_bool "sorted set" true (Workload.Setgen.is_sorted_set s);
+  Array.iter (fun x -> if x < 0 || x >= 1000 then Alcotest.failf "out of universe: %d" x) s
+
+let test_random_set_full_universe () =
+  let s = Workload.Setgen.random_set (rng 2) ~universe:50 ~size:50 in
+  Alcotest.(check (array int)) "everything" (Array.init 50 Fun.id) s
+
+let test_random_set_empty () =
+  check "empty" 0 (Array.length (Workload.Setgen.random_set (rng 3) ~universe:10 ~size:0))
+
+let test_pair_with_overlap () =
+  for seed = 1 to 50 do
+    let pair =
+      Workload.Setgen.pair_with_overlap (rng seed) ~universe:10000 ~size_s:80 ~size_t:50
+        ~overlap:20
+    in
+    check "|S|" 80 (Array.length pair.Workload.Setgen.s);
+    check "|T|" 50 (Array.length pair.Workload.Setgen.t);
+    check "overlap" 20
+      (Array.length (Workload.Setgen.intersect pair.Workload.Setgen.s pair.Workload.Setgen.t))
+  done
+
+let test_pair_with_overlap_extremes () =
+  let pair = Workload.Setgen.pair_with_overlap (rng 4) ~universe:100 ~size_s:10 ~size_t:10 ~overlap:0 in
+  check "disjoint" 0 (Array.length (Workload.Setgen.intersect pair.Workload.Setgen.s pair.Workload.Setgen.t));
+  let pair = Workload.Setgen.pair_with_overlap (rng 5) ~universe:100 ~size_s:10 ~size_t:10 ~overlap:10 in
+  Alcotest.(check (array int)) "identical" pair.Workload.Setgen.s pair.Workload.Setgen.t
+
+let test_pair_with_overlap_validation () =
+  Alcotest.check_raises "overlap too big"
+    (Invalid_argument "Setgen.pair_with_overlap: overlap") (fun () ->
+      ignore (Workload.Setgen.pair_with_overlap (rng 1) ~universe:100 ~size_s:5 ~size_t:5 ~overlap:6));
+  Alcotest.check_raises "universe too small"
+    (Invalid_argument "Setgen.pair_with_overlap: universe too small") (fun () ->
+      ignore (Workload.Setgen.pair_with_overlap (rng 1) ~universe:10 ~size_s:8 ~size_t:8 ~overlap:1))
+
+let test_zipf_pair () =
+  let pair = Workload.Setgen.zipf_pair (rng 6) ~universe:10000 ~size:200 ~exponent:1.1 in
+  check "|S|" 200 (Array.length pair.Workload.Setgen.s);
+  check "|T|" 200 (Array.length pair.Workload.Setgen.t);
+  check_bool "sorted" true (Workload.Setgen.is_sorted_set pair.Workload.Setgen.s);
+  (* skew: the head of the distribution is shared, so overlap is large *)
+  let overlap = Array.length (Workload.Setgen.intersect pair.Workload.Setgen.s pair.Workload.Setgen.t) in
+  check_bool (Printf.sprintf "natural overlap (%d)" overlap) true (overlap > 30)
+
+let test_zipf_skew_increases_overlap () =
+  let overlap_at exponent =
+    let pair = Workload.Setgen.zipf_pair (rng 7) ~universe:10000 ~size:200 ~exponent in
+    Array.length (Workload.Setgen.intersect pair.Workload.Setgen.s pair.Workload.Setgen.t)
+  in
+  check_bool "more skew, more overlap" true (overlap_at 1.5 > overlap_at 0.5)
+
+let test_family_with_core () =
+  let sets = Workload.Setgen.family_with_core (rng 8) ~universe:100000 ~players:5 ~size:30 ~core:7 in
+  check "players" 5 (Array.length sets);
+  Array.iter (fun set -> check "size" 30 (Array.length set)) sets;
+  let intersection = Iset.inter_many (Array.to_list sets) in
+  check "core exact" 7 (Array.length intersection)
+
+let prop_pair_overlap_exact =
+  QCheck.Test.make ~name:"pair overlap always exact" ~count:100
+    QCheck.(triple small_signed_int (int_range 0 30) (int_range 0 30))
+    (fun (seed, a, b) ->
+      let overlap = min a b in
+      let pair =
+        Workload.Setgen.pair_with_overlap (rng seed) ~universe:10000 ~size_s:a ~size_t:b ~overlap
+      in
+      Array.length (Workload.Setgen.intersect pair.Workload.Setgen.s pair.Workload.Setgen.t)
+      = overlap)
+
+(* ---------- Iset (partition, many-way ops) ---------- *)
+
+let test_iset_partition_by () =
+  let bins = Iset.partition_by (fun x -> x mod 3) ~bins:3 [| 0; 1; 2; 3; 4; 5; 6 |] in
+  Alcotest.(check (array int)) "bin 0" [| 0; 3; 6 |] bins.(0);
+  Alcotest.(check (array int)) "bin 1" [| 1; 4 |] bins.(1);
+  Alcotest.(check (array int)) "bin 2" [| 2; 5 |] bins.(2)
+
+let test_iset_inter_many () =
+  let result = Iset.inter_many [ [| 1; 2; 3; 4 |]; [| 2; 3; 4; 5 |]; [| 0; 3; 4 |] ] in
+  Alcotest.(check (array int)) "inter" [| 3; 4 |] result
+
+let iset_gen =
+  QCheck.Gen.(list_size (int_bound 60) (int_bound 500) >|= Iset.of_list)
+
+let iset_arb = QCheck.make ~print:(fun a -> QCheck.Print.(array int) a) iset_gen
+
+let prop_iset_algebra =
+  QCheck.Test.make ~name:"set algebra laws (de Morgan on finite sets)" ~count:300
+    QCheck.(pair iset_arb iset_arb)
+    (fun (a, b) ->
+      let open Iset in
+      is_valid (union a b) && is_valid (inter a b) && is_valid (diff a b)
+      && equal (union a b) (union b a)
+      && equal (inter a b) (inter b a)
+      && cardinal (union a b) + cardinal (inter a b) = cardinal a + cardinal b
+      && equal (diff a b) (diff (union a b) b)
+      && equal (union (inter a b) (union (diff a b) (diff b a))) (union a b)
+      && subset (inter a b) a
+      && subset a (union a b))
+
+let prop_iset_mem_consistent =
+  QCheck.Test.make ~name:"mem agrees with linear search" ~count:300
+    QCheck.(pair iset_arb (int_bound 500))
+    (fun (a, x) -> Iset.mem a x = Array.exists (fun y -> y = x) a)
+
+let test_iset_mem () =
+  let s = [| 1; 5; 9; 22; 100 |] in
+  check_bool "present" true (Iset.mem s 9);
+  check_bool "absent" false (Iset.mem s 10);
+  check_bool "first" true (Iset.mem s 1);
+  check_bool "last" true (Iset.mem s 100);
+  check_bool "empty" false (Iset.mem [||] 1)
+
+(* ---------- Summary ---------- *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.of_ints [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.Summary.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.Summary.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.Summary.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.Stats.Summary.p50;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.Stats.Summary.stddev
+
+let test_summary_single () =
+  let s = Stats.Summary.of_ints [ 42 ] in
+  Alcotest.(check (float 1e-9)) "mean" 42.0 s.Stats.Summary.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 s.Stats.Summary.stddev;
+  Alcotest.(check (float 1e-9)) "ci" 0.0 (Stats.Summary.ci95 s)
+
+let test_summary_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_floats: empty") (fun () ->
+      ignore (Stats.Summary.of_floats []))
+
+(* ---------- Table ---------- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_table_render () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a"; "bee" ] in
+  Stats.Table.add_row t [ "1"; "2" ];
+  Stats.Table.add_row t [ "100"; "x" ];
+  let out = Stats.Table.render t in
+  check_bool "has title" true (String.length out > 0 && out.[0] = 'T');
+  check_bool "contains header" true (contains out "bee");
+  check_bool "contains row" true (contains out "100");
+  check_bool "rows in order" true (contains out "| 1   | 2   |")
+
+let test_table_arity () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Stats.Table.add_row t [ "1" ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload-stats"
+    [
+      ( "setgen",
+        [
+          Alcotest.test_case "random set" `Quick test_random_set;
+          Alcotest.test_case "full universe" `Quick test_random_set_full_universe;
+          Alcotest.test_case "empty" `Quick test_random_set_empty;
+          Alcotest.test_case "pair with overlap" `Quick test_pair_with_overlap;
+          Alcotest.test_case "overlap extremes" `Quick test_pair_with_overlap_extremes;
+          Alcotest.test_case "validation" `Quick test_pair_with_overlap_validation;
+          Alcotest.test_case "zipf" `Quick test_zipf_pair;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew_increases_overlap;
+          Alcotest.test_case "family with core" `Quick test_family_with_core;
+          qt prop_pair_overlap_exact;
+        ] );
+      ( "iset",
+        [
+          Alcotest.test_case "partition_by" `Quick test_iset_partition_by;
+          Alcotest.test_case "inter_many" `Quick test_iset_inter_many;
+          Alcotest.test_case "mem" `Quick test_iset_mem;
+          qt prop_iset_algebra;
+          qt prop_iset_mem_consistent;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "basic" `Quick test_summary_basic;
+          Alcotest.test_case "single" `Quick test_summary_single;
+          Alcotest.test_case "empty rejected" `Quick test_summary_empty_rejected;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+    ]
