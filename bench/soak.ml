@@ -1,0 +1,72 @@
+(* Adversarial-channel soak harness entry point.
+
+   Runs N seeded trials of the Resilient wrapper per (protocol x fault
+   plan) cell, prints the summary table, and emits the JSON report.
+
+     dune exec bench/soak.exe                      # full matrix (1000 trials/cell)
+     dune exec bench/soak.exe -- --smoke           # seconds-scale CI configuration
+     dune exec bench/soak.exe -- --trials 200 --k 32 --out soak.json
+
+   The report is reproducible: the same flags produce the identical JSON,
+   bit for bit (the reproduce field of the report quotes the command). *)
+
+open Cmdliner
+
+let run smoke seed trials k universe_bits overlap attempts check_bits out json_only =
+  let base = if smoke then Workload.Soak.smoke else Workload.Soak.default in
+  let override v = function Some v' -> v' | None -> v in
+  let config =
+    {
+      base with
+      Workload.Soak.seed = override base.Workload.Soak.seed seed;
+      trials = override base.Workload.Soak.trials trials;
+      k = override base.Workload.Soak.k k;
+      universe_bits = override base.Workload.Soak.universe_bits universe_bits;
+      overlap =
+        (match overlap with
+        | Some o -> o
+        | None -> (
+            match k with Some k -> k / 2 | None -> base.Workload.Soak.overlap));
+      budget_attempts = override base.Workload.Soak.budget_attempts attempts;
+      check_bits = override base.Workload.Soak.check_bits check_bits;
+    }
+  in
+  let reproduce =
+    Printf.sprintf "dune exec bench/soak.exe --%s --seed %d --trials %d --k %d --overlap %d"
+      (if smoke then " --smoke" else "")
+      config.Workload.Soak.seed config.Workload.Soak.trials config.Workload.Soak.k
+      config.Workload.Soak.overlap
+  in
+  let report = Workload.Soak.run config in
+  if not json_only then print_string (Workload.Soak.summary report);
+  let json = Stats.Json.to_string_pretty (Workload.Soak.to_json ~reproduce report) in
+  (match out with
+  | None -> if json_only then print_endline json
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      if not json_only then Printf.printf "JSON report written to %s\n" path);
+  if List.for_all (fun c -> c.Workload.Soak.within_bound) report.Workload.Soak.cells then 0 else 1
+
+let some_int names docv doc = Arg.(value & opt (some int) None & info names ~docv ~doc)
+
+let cmd =
+  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale CI configuration.") in
+  let seed = some_int [ "seed" ] "SEED" "Root seed (default 2014)." in
+  let trials = some_int [ "trials" ] "N" "Trials per (protocol x plan) cell." in
+  let k = some_int [ "k" ] "K" "Input set size (overlap defaults to K/2)." in
+  let universe_bits = some_int [ "universe-bits" ] "B" "Universe size 2^B." in
+  let overlap = some_int [ "overlap" ] "O" "Planted intersection size." in
+  let attempts = some_int [ "attempts" ] "A" "Resilient retry budget." in
+  let check_bits = some_int [ "check-bits" ] "C" "Initial fingerprint width." in
+  let out = Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.") in
+  let json_only = Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON report.") in
+  Cmd.v
+    (Cmd.info "soak" ~doc:"Soak intersection protocols against adversarial channels.")
+    Term.(
+      const run $ smoke $ seed $ trials $ k $ universe_bits $ overlap $ attempts $ check_bits $ out
+      $ json_only)
+
+let () = exit (Cmd.eval' cmd)

@@ -231,8 +231,44 @@ let similarity_cmd =
     (Cmd.info "similarity" ~doc:"Exact similarity statistics (optionally vs a min-wise sketch).")
     Term.(const run $ k_arg $ universe_bits_arg $ overlap_arg $ seed_arg $ sketch_arg)
 
+let soak_cmd =
+  let smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale configuration.") in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report instead of the table.") in
+  let soak_trials_arg =
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc:"Trials per (protocol x plan) cell.")
+  in
+  let run smoke json trials seed k universe_bits overlap =
+    let base = if smoke then Workload.Soak.smoke else Workload.Soak.default in
+    let config =
+      {
+        base with
+        Workload.Soak.seed;
+        trials = Option.value trials ~default:base.Workload.Soak.trials;
+        k;
+        universe_bits;
+        overlap = Option.value overlap ~default:(k / 2);
+      }
+    in
+    let report = Workload.Soak.run config in
+    if json then print_endline (Stats.Json.to_string_pretty (Workload.Soak.to_json report))
+    else print_string (Workload.Soak.summary report);
+    if List.for_all (fun c -> c.Workload.Soak.within_bound) report.Workload.Soak.cells then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Soak the resilient wrapper against adversarial channels (bench/soak.exe is the full \
+          harness; this is the quick in-CLI view).")
+    Term.(
+      const run $ smoke_arg $ json_arg $ soak_trials_arg
+      $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+      $ Arg.(value & opt int 16 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
+      $ Arg.(value & opt int 20 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
+      $ overlap_arg)
+
 let () =
   let doc = "Set-intersection communication protocols (PODC'14 reproduction)." in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "intersect_cli" ~doc) [ two_cmd; multi_cmd; disj_cmd; similarity_cmd ]))
+       (Cmd.group (Cmd.info "intersect_cli" ~doc)
+          [ two_cmd; multi_cmd; disj_cmd; similarity_cmd; soak_cmd ]))

@@ -1,0 +1,155 @@
+type link = { flip : float; trunc : float; dup : float; drop : float }
+
+let clean_link = { flip = 0.0; trunc = 0.0; dup = 0.0; drop = 0.0 }
+let flipping p = { clean_link with flip = p }
+let dropping p = { clean_link with drop = p }
+
+let validate_link { flip; trunc; dup; drop } =
+  let check name p =
+    if not (p >= 0.0 && p <= 1.0) then invalid_arg ("Faults: " ^ name ^ " rate outside [0, 1]")
+  in
+  check "flip" flip;
+  check "trunc" trunc;
+  check "dup" dup;
+  check "drop" drop
+
+type plan = { seed_ : int; pick : from_:int -> to_:int -> link; clean_ : bool }
+
+let clean = { seed_ = 0; pick = (fun ~from_:_ ~to_:_ -> clean_link); clean_ = true }
+
+let uniform ~seed link =
+  validate_link link;
+  if link = clean_link then { clean with seed_ = seed }
+  else { seed_ = seed; pick = (fun ~from_:_ ~to_:_ -> link); clean_ = false }
+
+let make ~seed pick = { seed_ = seed; pick; clean_ = false }
+let is_clean plan = plan.clean_
+let seed plan = plan.seed_
+
+let reseed plan ~salt =
+  if plan.clean_ then plan
+  else
+    { plan with seed_ = Prng.Rng.bits (Prng.Rng.with_label (Prng.Rng.of_int plan.seed_) (Printf.sprintf "reseed/%d" salt)) ~width:30 }
+
+type action = Deliver of Bitio.Bits.t list | Drop
+
+type tally = {
+  deliveries : int;
+  flipped_messages : int;
+  flipped_bits : int;
+  truncated_messages : int;
+  truncated_bits : int;
+  duplicated_messages : int;
+  dropped_messages : int;
+  dropped_bits : int;
+}
+
+let zero_tally =
+  {
+    deliveries = 0;
+    flipped_messages = 0;
+    flipped_bits = 0;
+    truncated_messages = 0;
+    truncated_bits = 0;
+    duplicated_messages = 0;
+    dropped_messages = 0;
+    dropped_bits = 0;
+  }
+
+let add_tally a b =
+  {
+    deliveries = a.deliveries + b.deliveries;
+    flipped_messages = a.flipped_messages + b.flipped_messages;
+    flipped_bits = a.flipped_bits + b.flipped_bits;
+    truncated_messages = a.truncated_messages + b.truncated_messages;
+    truncated_bits = a.truncated_bits + b.truncated_bits;
+    duplicated_messages = a.duplicated_messages + b.duplicated_messages;
+    dropped_messages = a.dropped_messages + b.dropped_messages;
+    dropped_bits = a.dropped_bits + b.dropped_bits;
+  }
+
+let tally_is_clean t =
+  t.flipped_messages = 0 && t.truncated_messages = 0 && t.duplicated_messages = 0
+  && t.dropped_messages = 0
+
+let pp_tally ppf t =
+  Format.fprintf ppf
+    "@[<h>%d delivered, %d bits flipped in %d msgs, %d truncated (-%d bits), %d duplicated, %d \
+     dropped (-%d bits)@]"
+    t.deliveries t.flipped_bits t.flipped_messages t.truncated_messages t.truncated_bits
+    t.duplicated_messages t.dropped_messages t.dropped_bits
+
+type tallies = { links : tally array array }
+
+let create_tallies ~players =
+  if players < 1 then invalid_arg "Faults.create_tallies";
+  { links = Array.init players (fun _ -> Array.make players zero_tally) }
+
+let total t =
+  Array.fold_left (fun acc row -> Array.fold_left add_tally acc row) zero_tally t.links
+
+let outgoing t rank = Array.fold_left add_tally zero_tally t.links.(rank)
+
+let incoming t rank =
+  Array.fold_left (fun acc row -> add_tally acc row.(rank)) zero_tally t.links
+
+let merge a b =
+  if Array.length a.links <> Array.length b.links then invalid_arg "Faults.merge: player counts";
+  { links = Array.map2 (Array.map2 add_tally) a.links b.links }
+
+let truncate payload ~keep = Bitio.Bitreader.read_blob (Bitio.Bitreader.create payload) ~bits:keep
+
+let flip_bits rng ~p payload =
+  let flipped = ref 0 in
+  let bits =
+    List.map
+      (fun b ->
+        if Prng.Rng.bernoulli rng ~p then begin
+          incr flipped;
+          not b
+        end
+        else b)
+      (Bitio.Bits.to_bools payload)
+  in
+  if !flipped = 0 then (payload, 0) else (Bitio.Bits.of_bools bits, !flipped)
+
+let apply plan ~from_ ~to_ ~index payload =
+  if plan.clean_ then (Deliver [ payload ], { zero_tally with deliveries = 1 })
+  else begin
+    let link = plan.pick ~from_ ~to_ in
+    validate_link link;
+    let len = Bitio.Bits.length payload in
+    (* One fresh generator per message coordinate: the draw sequence below is
+       fixed, so the decision depends on nothing but (seed, link, index). *)
+    let rng =
+      Prng.Rng.with_label
+        (Prng.Rng.of_int plan.seed_)
+        (Printf.sprintf "faults/%d->%d/%d" from_ to_ index)
+    in
+    if link.drop > 0.0 && Prng.Rng.bernoulli rng ~p:link.drop then
+      (Drop, { zero_tally with dropped_messages = 1; dropped_bits = len })
+    else begin
+      let payload, truncated_bits =
+        if link.trunc > 0.0 && len > 0 && Prng.Rng.bernoulli rng ~p:link.trunc then begin
+          let keep = Prng.Rng.int rng len in
+          (truncate payload ~keep, len - keep)
+        end
+        else (payload, 0)
+      in
+      let payload, flipped_bits =
+        if link.flip > 0.0 then flip_bits rng ~p:link.flip payload else (payload, 0)
+      in
+      let duplicated = link.dup > 0.0 && Prng.Rng.bernoulli rng ~p:link.dup in
+      let copies = if duplicated then [ payload; payload ] else [ payload ] in
+      ( Deliver copies,
+        {
+          zero_tally with
+          deliveries = List.length copies;
+          flipped_messages = (if flipped_bits > 0 then 1 else 0);
+          flipped_bits;
+          truncated_messages = (if truncated_bits > 0 then 1 else 0);
+          truncated_bits;
+          duplicated_messages = (if duplicated then 1 else 0);
+        } )
+    end
+  end

@@ -46,7 +46,15 @@ exception Deadlock of string
 
 type trace_entry = { from_ : int; to_ : int; bits : int; depth : int }
 
-let run_with ~trace players =
+type blocked = { rank : int; waiting_for : int option }
+type diagnosis = { blocked : blocked list; dropped : int; detail : string }
+
+type 'r outcome =
+  | Completed of 'r
+  | Lost of diagnosis
+  | Crashed of { rank : int; exn : string }
+
+let run_with ~trace ~faults players =
   let m = Array.length players in
   if m < 2 then invalid_arg "Network.run: need at least two players";
   let states =
@@ -66,6 +74,9 @@ let run_with ~trace players =
   let runnable : (unit -> unit) Queue.t = Queue.create () in
   let rounds = ref 0 and total_bits = ref 0 and messages = ref 0 in
   let entries = ref [] in
+  let tallies = Faults.create_tallies ~players:m in
+  let link_index = Array.init m (fun _ -> Array.make m 0) in
+  let crashes = ref [] in
   let consume st from_ =
     let payload, depth = Queue.pop st.inboxes.(from_) in
     st.clock <- max st.clock depth;
@@ -96,6 +107,25 @@ let run_with ~trace players =
       end
     | Blocked _ | Runnable | Finished -> ()
   in
+  (* Cost meters every payload copy that actually crosses the wire: in a
+     clean run that is exactly one per send; the channel ([faults]) can turn
+     one send into zero (drop) or two (duplication) metered deliveries. *)
+  let deliver st ~to_ payload =
+    let depth = st.clock + 1 in
+    let len = Bitio.Bits.length payload in
+    rounds := max !rounds depth;
+    total_bits := !total_bits + len;
+    incr messages;
+    if trace then entries := { from_ = st.rank; to_; bits = len; depth } :: !entries;
+    st.sent_bits <- st.sent_bits + len;
+    st.sent_messages <- st.sent_messages + 1;
+    let peer = states.(to_) in
+    Queue.add (payload, depth) peer.inboxes.(st.rank);
+    match peer.status with
+    | Blocked (_, from_) when from_ = st.rank -> Queue.add (fun () -> try_resume peer) runnable
+    | Blocked_any _ -> Queue.add (fun () -> try_resume peer) runnable
+    | Blocked _ | Runnable | Finished -> ()
+  in
   let start st rank () =
     match_with (players.(rank)) st
       {
@@ -103,28 +133,32 @@ let run_with ~trace players =
           (fun r ->
             results.(rank) <- Some r;
             st.status <- Finished);
-        exnc = raise;
+        exnc =
+          (match faults with
+          | None -> raise
+          | Some _ ->
+              fun e ->
+                crashes := (st.rank, Printexc.to_string e) :: !crashes;
+                st.status <- Finished);
         effc =
           (fun (type c) (eff : c Effect.t) ->
             match eff with
             | Send_eff (to_, payload) ->
                 Some
                   (fun (k : (c, unit) continuation) ->
-                    let depth = st.clock + 1 in
-                    let len = Bitio.Bits.length payload in
-                    rounds := max !rounds depth;
-                    total_bits := !total_bits + len;
-                    incr messages;
-                    if trace then entries := { from_ = st.rank; to_; bits = len; depth } :: !entries;
-                    st.sent_bits <- st.sent_bits + len;
-                    st.sent_messages <- st.sent_messages + 1;
-                    let peer = states.(to_) in
-                    Queue.add (payload, depth) peer.inboxes.(st.rank);
-                    (match peer.status with
-                    | Blocked (_, from_) when from_ = st.rank ->
-                        Queue.add (fun () -> try_resume peer) runnable
-                    | Blocked_any _ -> Queue.add (fun () -> try_resume peer) runnable
-                    | Blocked _ | Runnable | Finished -> ());
+                    (match faults with
+                    | None -> deliver st ~to_ payload
+                    | Some plan ->
+                        let index = link_index.(st.rank).(to_) in
+                        link_index.(st.rank).(to_) <- index + 1;
+                        let action, delta =
+                          Faults.apply plan ~from_:st.rank ~to_ ~index payload
+                        in
+                        tallies.Faults.links.(st.rank).(to_) <-
+                          Faults.add_tally tallies.Faults.links.(st.rank).(to_) delta;
+                        (match action with
+                        | Faults.Drop -> ()
+                        | Faults.Deliver copies -> List.iter (deliver st ~to_) copies));
                     continue k ())
             | Recv_eff from_ ->
                 Some
@@ -149,19 +183,59 @@ let run_with ~trace players =
     | None -> ()
   in
   schedule ();
-  Array.iter
-    (fun st ->
-      match st.status with
-      | Finished -> ()
-      | Blocked (_, from_) ->
-          raise
-            (Deadlock
-               (Printf.sprintf "player %d waits for a message from player %d that never comes"
-                  st.rank from_))
-      | Blocked_any _ ->
-          raise (Deadlock (Printf.sprintf "player %d waits for a message that never comes" st.rank))
-      | Runnable -> raise (Deadlock (Printf.sprintf "player %d runnable but never scheduled" st.rank)))
-    states;
+  let outcome =
+    match List.rev !crashes with
+    | (rank, exn) :: _ -> Crashed { rank; exn }
+    | [] -> begin
+        let stuck =
+          Array.to_list states
+          |> List.filter_map (fun st ->
+                 match st.status with
+                 | Finished -> None
+                 | Blocked (_, from_) -> Some { rank = st.rank; waiting_for = Some from_ }
+                 | Blocked_any _ | Runnable -> Some { rank = st.rank; waiting_for = None })
+        in
+        match stuck with
+        | [] ->
+            Completed
+              (Array.map
+                 (function Some r -> r | None -> assert false (* Finished implies stored *))
+                 results)
+        | stuck when faults = None ->
+            (* Clean executions keep the historical behaviour: a hang is a
+               protocol bug and raises. *)
+            let b = List.hd stuck in
+            raise
+              (Deadlock
+                 (match b.waiting_for with
+                 | Some from_ ->
+                     Printf.sprintf
+                       "player %d waits for a message from player %d that never comes" b.rank
+                       from_
+                 | None ->
+                     Printf.sprintf "player %d waits for a message that never comes" b.rank))
+        | stuck ->
+            let dropped = (Faults.total tallies).Faults.dropped_messages in
+            let describe b =
+              match b.waiting_for with
+              | Some from_ ->
+                  let t = tallies.Faults.links.(from_).(b.rank) in
+                  Printf.sprintf
+                    "player %d waits for player %d (link %d->%d: %d sent, %d dropped, %d \
+                     truncated)"
+                    b.rank from_ from_ b.rank
+                    link_index.(from_).(b.rank)
+                    t.Faults.dropped_messages t.Faults.truncated_messages
+              | None -> Printf.sprintf "player %d waits for a message from any player" b.rank
+            in
+            let detail =
+              Printf.sprintf "%s; channel dropped %d message(s) in total"
+                (String.concat "; " (List.map describe stuck))
+                dropped
+            in
+            Lost { blocked = stuck; dropped; detail }
+      end
+  in
   let players_cost =
     Array.map
       (fun st ->
@@ -172,15 +246,27 @@ let run_with ~trace players =
         })
       states
   in
-  let results =
-    Array.map (function Some r -> r | None -> assert false (* Finished implies stored *)) results
-  in
-  ( results,
+  ( outcome,
     { Cost.players = players_cost; total_bits = !total_bits; messages = !messages; rounds = !rounds },
-    List.rev !entries )
+    List.rev !entries,
+    tallies )
+
+let completed_exn = function
+  | Completed r -> r
+  | Lost _ | Crashed _ -> assert false (* clean executions always complete or raise *)
 
 let run players =
-  let results, cost, _ = run_with ~trace:false players in
-  (results, cost)
+  let outcome, cost, _, _ = run_with ~trace:false ~faults:None players in
+  (completed_exn outcome, cost)
 
-let run_traced players = run_with ~trace:true players
+let run_traced players =
+  let outcome, cost, entries, _ = run_with ~trace:true ~faults:None players in
+  (completed_exn outcome, cost, entries)
+
+let run_faulty ~plan players =
+  let outcome, cost, _, tallies = run_with ~trace:false ~faults:(Some plan) players in
+  (outcome, cost, tallies)
+
+let run_faulty_traced ~plan players =
+  let outcome, cost, entries, tallies = run_with ~trace:true ~faults:(Some plan) players in
+  (outcome, cost, entries, tallies)

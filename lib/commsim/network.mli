@@ -48,3 +48,39 @@ val run : (endpoint -> 'a) array -> 'a array * Cost.t
     Invariants (tested): one entry per message, entry bits sum to
     [cost.total_bits], and the maximum depth equals [cost.rounds]. *)
 val run_traced : (endpoint -> 'a) array -> 'a array * Cost.t * trace_entry list
+
+(** One player that can no longer make progress: the sender it waits on, or
+    [None] when blocked in {!recv_any}. *)
+type blocked = { rank : int; waiting_for : int option }
+
+(** Why a faulty execution wedged: which players are stuck, how many
+    messages the channel swallowed, and a human-readable account that names
+    the guilty links. *)
+type diagnosis = { blocked : blocked list; dropped : int; detail : string }
+
+(** Result of an execution over an adversarial channel.  [Lost] replaces the
+    {!Deadlock} exception: a dropped (or desynchronising) message shows up
+    as a structured diagnosis, not a bare exception.  [Crashed] captures a
+    player raising — typically a codec choking on a corrupted payload. *)
+type 'r outcome =
+  | Completed of 'r
+  | Lost of diagnosis
+  | Crashed of { rank : int; exn : string }
+
+(** [run_faulty ~plan players] runs the execution with the channel applying
+    [plan] to every message at delivery time ({!Faults.apply}).  Cost meters
+    each payload copy that actually crosses the wire (dropped messages cost
+    nothing, duplicated ones are metered once per delivery); the tallies
+    record the injected damage per directed link.  Replay-deterministic:
+    the same players and plan produce the identical outcome, cost, trace
+    and tallies. *)
+val run_faulty :
+  plan:Faults.plan ->
+  (endpoint -> 'a) array ->
+  'a array outcome * Cost.t * Faults.tallies
+
+(** Like {!run_faulty}, also returning the trace of delivered copies. *)
+val run_faulty_traced :
+  plan:Faults.plan ->
+  (endpoint -> 'a) array ->
+  'a array outcome * Cost.t * trace_entry list * Faults.tallies

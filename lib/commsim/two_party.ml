@@ -1,12 +1,29 @@
+let players ~alice ~bob result_a result_b =
+  [|
+    (fun ep -> result_a := Some (alice (Chan.of_endpoint ep ~peer:1)));
+    (fun ep -> result_b := Some (bob (Chan.of_endpoint ep ~peer:0)));
+  |]
+
 let run ~alice ~bob =
   let result_a = ref None and result_b = ref None in
-  let players =
-    [|
-      (fun ep -> result_a := Some (alice (Chan.of_endpoint ep ~peer:1)));
-      (fun ep -> result_b := Some (bob (Chan.of_endpoint ep ~peer:0)));
-    |]
-  in
-  let (_ : unit array), cost = Network.run players in
+  let (_ : unit array), cost = Network.run (players ~alice ~bob result_a result_b) in
   match (!result_a, !result_b) with
   | Some a, Some b -> ((a, b), cost)
   | _ -> assert false
+
+let run_faulty ~plan ~alice ~bob =
+  let result_a = ref None and result_b = ref None in
+  let outcome, cost, tallies =
+    Network.run_faulty ~plan (players ~alice ~bob result_a result_b)
+  in
+  let outcome =
+    match outcome with
+    | Network.Completed (_ : unit array) -> begin
+        match (!result_a, !result_b) with
+        | Some a, Some b -> Network.Completed (a, b)
+        | _ -> assert false
+      end
+    | Network.Lost d -> Network.Lost d
+    | Network.Crashed { rank; exn } -> Network.Crashed { rank; exn }
+  in
+  (outcome, cost, tallies)

@@ -6,3 +6,15 @@
     channel; scheduling, metering and round accounting are inherited from
     {!Network}. *)
 val run : alice:(Chan.t -> 'a) -> bob:(Chan.t -> 'b) -> ('a * 'b) * Cost.t
+
+(** [run_faulty ~plan ~alice ~bob] runs both parties over an adversarial
+    channel ({!Faults}).  A drop that wedges the conversation surfaces as
+    {!Network.Lost} with a diagnosis; a party raising on a corrupted
+    payload surfaces as {!Network.Crashed}.  Cost and fault tallies are
+    returned even for aborted executions, so callers can account for the
+    bits a failed attempt burned. *)
+val run_faulty :
+  plan:Faults.plan ->
+  alice:(Chan.t -> 'a) ->
+  bob:(Chan.t -> 'b) ->
+  ('a * 'b) Network.outcome * Cost.t * Faults.tallies

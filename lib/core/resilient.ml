@@ -1,0 +1,211 @@
+type party = Prng.Rng.t -> universe:int -> Iset.t -> Commsim.Chan.t -> Iset.t
+type base = { name : string; alice : party; bob : party }
+
+let trivial_alice _rng ~universe:_ mine chan =
+  chan.Commsim.Chan.send (Wire.of_set mine);
+  Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+
+let trivial_bob _rng ~universe:_ mine chan =
+  let received = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ())) in
+  let intersection = Iset.inter received mine in
+  chan.Commsim.Chan.send (Wire.of_set intersection);
+  intersection
+
+let trivial_base = { name = "trivial"; alice = trivial_alice; bob = trivial_bob }
+
+let tree_base ?r ~k () =
+  let r = match r with Some r -> max 1 r | None -> max 1 (Iterated_log.log_star k) in
+  let party role rng ~universe mine chan = Tree_protocol.run_party role rng ~universe ~r ~k chan mine in
+  {
+    name = Printf.sprintf "tree-r%d" r;
+    alice = party `Alice;
+    bob = party `Bob;
+  }
+
+let bucket_base ~k () =
+  let party role rng ~universe mine chan = Bucket_protocol.run_party role rng ~universe ~k chan mine in
+  { name = "bucket"; alice = party `Alice; bob = party `Bob }
+
+type budget = { attempts : int; bits : int }
+
+let default_budget = { attempts = 10; bits = max_int }
+
+exception Corrupted of string
+
+let seq_width = 20
+
+(* The resilient transport: every payload travels as
+   [seq (20 bits) | fingerprint (tag_bits) | payload], with the fingerprint
+   a shared-randomness hash of seq and payload.  Damage the channel can do
+   is either detected (flip/truncation: fingerprint mismatch; drop that
+   desynchronizes: sequence gap) and aborts the attempt via [Corrupted], or
+   absorbed (a duplicate re-delivers an already-consumed sequence number
+   and is discarded).  Undetected corruption needs a fingerprint collision:
+   probability [~2^-tag_bits] per message. *)
+let guard rng ~tag_bits chan =
+  let h = Strhash.create (Prng.Rng.with_label rng "frame") ~bits:tag_bits in
+  let next_send = ref 0 and next_recv = ref 0 in
+  let seq_bits seq =
+    let buf = Bitio.Bitbuf.create () in
+    Bitio.Bitbuf.write_bits buf ~width:seq_width seq;
+    Bitio.Bitbuf.contents buf
+  in
+  let send payload =
+    if !next_send >= 1 lsl seq_width then invalid_arg "Resilient.guard: sequence space exhausted";
+    let seq = seq_bits !next_send in
+    incr next_send;
+    let tag = Strhash.apply h (Bitio.Bits.concat seq payload) in
+    chan.Commsim.Chan.send (Bitio.Bits.concat seq (Bitio.Bits.concat tag payload))
+  in
+  let rec recv () =
+    let r = Bitio.Bitreader.create (chan.Commsim.Chan.recv ()) in
+    let parsed =
+      match
+        let seq = Bitio.Bitreader.read_bits r ~width:seq_width in
+        let tag = Bitio.Bitreader.read_blob r ~bits:tag_bits in
+        let payload = Bitio.Bitreader.read_blob r ~bits:(Bitio.Bitreader.remaining r) in
+        (seq, tag, payload)
+      with
+      | exception Bitio.Bitreader.Underflow -> raise (Corrupted "frame truncated")
+      | parsed -> parsed
+    in
+    let seq, tag, payload = parsed in
+    if not (Bitio.Bits.equal tag (Strhash.apply h (Bitio.Bits.concat (seq_bits seq) payload)))
+    then raise (Corrupted "frame fingerprint mismatch")
+    else if seq < !next_recv then recv () (* duplicate of a consumed frame *)
+    else if seq > !next_recv then
+      raise (Corrupted (Printf.sprintf "sequence gap: got %d, expected %d" seq !next_recv))
+    else begin
+      incr next_recv;
+      payload
+    end
+  in
+  { Commsim.Chan.send; recv }
+
+type failure = Check_rejected | Channel_lost of string | Party_crashed of string
+
+type report = {
+  result : Iset.t;
+  verified : bool;
+  degraded : bool;
+  attempts : int;
+  failures : failure list;
+  check_bits_final : int;
+  faulty_bits : int;
+  fallback_bits : int;
+  cost : Commsim.Cost.t;
+  tallies : Commsim.Faults.tallies;
+}
+
+let max_check_bits = 512
+
+(* Transport fingerprints stay at a fixed width: their job is detection
+   (collision ~2^-32 per message), and growing them would make every retry
+   a fatter flip target than the attempt that just failed. *)
+let transport_tag_bits = 32
+
+let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
+  Protocol.validate_inputs ~universe s t;
+  if budget.attempts < 1 then invalid_arg "Resilient.run: budget.attempts";
+  let k = max 1 (max (Array.length s) (Array.length t)) in
+  let check_bits0 =
+    match check_bits with
+    | Some b -> if b < 1 then invalid_arg "Resilient.run: check_bits" else b
+    | None -> max 24 k
+  in
+  let acc_cost = ref (Commsim.Cost.zero ~players:2) in
+  let acc_tallies = ref (Commsim.Faults.create_tallies ~players:2) in
+  let faulty_bits = ref 0 in
+  let record cost tallies =
+    acc_cost := Commsim.Cost.add_seq !acc_cost cost;
+    acc_tallies := Commsim.Faults.merge !acc_tallies tallies;
+    faulty_bits := !faulty_bits + cost.Commsim.Cost.total_bits
+  in
+  let finish ~result ~verified ~degraded ~attempts ~failures ~width ~fallback_bits ~fallback_cost =
+    let cost =
+      match fallback_cost with
+      | None -> !acc_cost
+      | Some c -> Commsim.Cost.add_seq !acc_cost c
+    in
+    {
+      result;
+      verified;
+      degraded;
+      attempts;
+      failures = List.rev failures;
+      check_bits_final = width;
+      faulty_bits = !faulty_bits;
+      fallback_bits;
+      cost;
+      tallies = !acc_tallies;
+    }
+  in
+  (* The reliable fallback: the deterministic exchange on a clean channel,
+     modelling a retransmitting transport of known worst-case cost. *)
+  let fallback ~attempts ~failures ~width =
+    let (result, _), cost =
+      Commsim.Two_party.run
+        ~alice:(fun chan -> trivial_alice rng ~universe s chan)
+        ~bob:(fun chan -> trivial_bob rng ~universe t chan)
+    in
+    finish ~result ~verified:false ~degraded:true ~attempts ~failures ~width
+      ~fallback_bits:cost.Commsim.Cost.total_bits ~fallback_cost:(Some cost)
+  in
+  let rec attempt i ~width failures =
+    let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "resilient/attempt%d" i) in
+    let base_rng = Prng.Rng.with_label attempt_rng "base" in
+    let check_rng = Prng.Rng.with_label attempt_rng "check" in
+    let frame_rng = Prng.Rng.with_label attempt_rng "transport" in
+    (* Each retry must face fresh channel noise: message indices restart at
+       zero every run, so an unsalted plan would replay the exact damage
+       that failed the previous attempt. *)
+    let outcome, cost, tallies =
+      Commsim.Two_party.run_faulty ~plan:(Commsim.Faults.reseed plan ~salt:i)
+        ~alice:(fun chan ->
+          let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
+          let candidate = base.alice base_rng ~universe s chan in
+          let accepted = Equality.run_alice_set check_rng ~bits:width chan candidate in
+          (candidate, accepted))
+        ~bob:(fun chan ->
+          let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
+          let candidate = base.bob base_rng ~universe t chan in
+          let accepted = Equality.run_bob_set check_rng ~bits:width chan candidate in
+          (candidate, accepted))
+    in
+    record cost tallies;
+    let retry failure =
+      let failures = failure :: failures in
+      (* Backoff in bits only answers check rejections: a rejection means
+         the verification randomness itself may have been unlucky, so the
+         next check buys exponentially more confidence.  Detected damage
+         (Corrupted / Lost) says nothing against the current width. *)
+      let width' =
+        match failure with
+        | Check_rejected -> min max_check_bits (2 * width)
+        | Channel_lost _ | Party_crashed _ -> width
+      in
+      if i >= budget.attempts || !faulty_bits >= budget.bits then
+        fallback ~attempts:i ~failures ~width
+      else attempt (i + 1) ~width:width' failures
+    in
+    match outcome with
+    | Commsim.Network.Completed ((candidate_a, ok_a), (_candidate_b, ok_b)) ->
+        (* Both sides must have accepted: a flipped verdict bit can fool one
+           side, not the side that computed the comparison locally. *)
+        if ok_a && ok_b then
+          finish ~result:candidate_a ~verified:true ~degraded:false ~attempts:i ~failures ~width
+            ~fallback_bits:0 ~fallback_cost:None
+        else retry Check_rejected
+    | Commsim.Network.Lost d -> retry (Channel_lost d.Commsim.Network.detail)
+    | Commsim.Network.Crashed { rank; exn } ->
+        retry (Party_crashed (Printf.sprintf "player %d: %s" rank exn))
+  in
+  attempt 1 ~width:check_bits0 []
+
+let failure_counts report =
+  List.fold_left
+    (fun (rej, lost, crash) -> function
+      | Check_rejected -> (rej + 1, lost, crash)
+      | Channel_lost _ -> (rej, lost + 1, crash)
+      | Party_crashed _ -> (rej, lost, crash + 1))
+    (0, 0, 0) report.failures

@@ -22,6 +22,8 @@ let run base ~bits ~max_attempts rng ~universe s t =
   in
   attempt 1 (Commsim.Cost.zero ~players:check_cost_players)
 
+type party_result = { candidate : Iset.t; attempts : int; verified : bool }
+
 let run_party role rng ~bits ~max_attempts chan ~party =
   let rec attempt i =
     let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "attempt%d" i) in
@@ -32,7 +34,8 @@ let run_party role rng ~bits ~max_attempts chan ~party =
       | `Alice -> Equality.run_alice_set eq_rng ~bits chan candidate
       | `Bob -> Equality.run_bob_set eq_rng ~bits chan candidate
     in
-    if passed || i >= max_attempts then candidate else attempt (i + 1)
+    if passed || i >= max_attempts then { candidate; attempts = i; verified = passed }
+    else attempt (i + 1)
   in
   attempt 1
 

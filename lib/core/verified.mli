@@ -34,13 +34,20 @@ val run :
     20. *)
 val protocol : ?bits:int -> ?max_attempts:int -> Protocol.t -> Protocol.t
 
+(** What one side of {!run_party} learned: the candidate it ended on, how
+    many base executions it took, and whether the final equality check
+    passed.  When [verified] is [false] the candidate is best-effort only
+    (the attempt budget ran out) — callers must not treat it as the exact
+    intersection. *)
+type party_result = { candidate : Iset.t; attempts : int; verified : bool }
+
 (** Message-level verify-and-repeat over an existing channel, for embedding
     in multi-party executions.  [party] must produce a sandwich candidate
     and be deterministic given its generator; it is re-invoked with
     generators labelled ["attempt<i>"] until the [bits]-bit equality check
-    of the two candidates passes (or attempts run out, returning the last
-    candidate).  Both sides must use identical generator states, the same
-    [bits] and the same [max_attempts]. *)
+    of the two candidates passes or attempts run out (distinguished by the
+    [verified] field of the result).  Both sides must use identical
+    generator states, the same [bits] and the same [max_attempts]. *)
 val run_party :
   [ `Alice | `Bob ] ->
   Prng.Rng.t ->
@@ -48,4 +55,4 @@ val run_party :
   max_attempts:int ->
   Commsim.Chan.t ->
   party:(Prng.Rng.t -> Commsim.Chan.t -> Iset.t) ->
-  Iset.t
+  party_result

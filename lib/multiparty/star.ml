@@ -33,8 +33,9 @@ let run_internal ?r ?(max_attempts = 30) ~broadcast rng ~universe ~k sets =
                   (fun member ->
                     ( member,
                       fun chan ->
-                        Verified.run_party `Bob (pair_rng member) ~bits ~max_attempts chan
-                          ~party:(pair_party !holding `Bob) ))
+                        (Verified.run_party `Bob (pair_rng member) ~bits ~max_attempts chan
+                           ~party:(pair_party !holding `Bob))
+                          .Verified.candidate ))
                   members
               in
               let results = Commsim.Multiplex.run ep sessions in
@@ -43,8 +44,9 @@ let run_internal ?r ?(max_attempts = 30) ~broadcast rng ~universe ~k sets =
             else begin
               let chan = Commsim.Chan.of_endpoint ep ~peer:coordinator in
               let candidate =
-                Verified.run_party `Alice (pair_rng rank) ~bits ~max_attempts chan
-                  ~party:(pair_party !holding `Alice)
+                (Verified.run_party `Alice (pair_rng rank) ~bits ~max_attempts chan
+                   ~party:(pair_party !holding `Alice))
+                  .Verified.candidate
               in
               holding := candidate;
               still_active := false

@@ -1,0 +1,19 @@
+(** Minimal JSON emission for machine-readable reports (no parser, no
+    dependencies).  Numbers that are not finite are emitted as [null] so
+    the output is always valid JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with full string escaping. *)
+val to_string : t -> string
+
+(** Like {!to_string} with two-space indentation, for files meant to be
+    read by humans too. *)
+val to_string_pretty : t -> string

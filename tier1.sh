@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: full build + test suite, then a seconds-scale soak smoke of
+# the resilient wrapper against adversarial channels (exits non-zero if any
+# cell violates the paper's error bound).
+set -eu
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+dune exec bench/soak.exe -- --smoke --trials 12
