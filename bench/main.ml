@@ -7,9 +7,15 @@
      --quick        smaller sweeps (CI-friendly)
      --only T1,T3   run a subset of the tables
      --no-micro     skip the Bechamel timing section
-     --micro-only   only the Bechamel timing section *)
+     --micro-only   only the Bechamel timing section
+     --trace-overhead  only the tracing-tax measurement (writes
+                       BENCH_trace_overhead.json) *)
 
-let run quick only no_micro micro_only =
+let run quick only no_micro micro_only trace_overhead =
+  if trace_overhead then begin
+    Micro.trace_overhead ();
+    exit 0
+  end;
   (match List.find_opt (fun n -> not (List.mem n Tables.names)) only with
   | Some bad ->
       Printf.eprintf "unknown table %S (known: %s)\n" bad (String.concat ", " Tables.names);
@@ -41,10 +47,16 @@ let no_micro = Arg.(value & flag & info [ "no-micro" ] ~doc:"Skip the Bechamel m
 let micro_only =
   Arg.(value & flag & info [ "micro-only" ] ~doc:"Run only the Bechamel micro-benchmarks.")
 
+let trace_overhead =
+  Arg.(
+    value & flag
+    & info [ "trace-overhead" ]
+        ~doc:"Measure the cost of enabled vs disabled tracing and write BENCH_trace_overhead.json.")
+
 let cmd =
   let doc = "Regenerate the experiment tables of the PODC'14 set-intersection reproduction." in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const run $ quick $ only $ no_micro $ micro_only)
+    Term.(const run $ quick $ only $ no_micro $ micro_only $ trace_overhead)
 
 let () = exit (Cmd.eval cmd)

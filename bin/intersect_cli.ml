@@ -155,6 +155,11 @@ let multi_cmd =
     Printf.printf "result %s (|intersection| = %d)\n"
       (if Iset.equal result truth then "exact" else "INEXACT")
       (Iset.cardinal result);
+    let per_player =
+      Stats.Table.create ~title:"per-player" ~columns:Commsim.Cost.breakdown_columns
+    in
+    List.iter (Stats.Table.add_row per_player) (Commsim.Cost.breakdown_rows cost);
+    Stats.Table.print per_player;
     0
   in
   Cmd.v
@@ -231,6 +236,167 @@ let similarity_cmd =
     (Cmd.info "similarity" ~doc:"Exact similarity statistics (optionally vs a min-wise sketch).")
     Term.(const run $ k_arg $ universe_bits_arg $ overlap_arg $ seed_arg $ sketch_arg)
 
+(* ---------- trace / profile: phase-attributed observability ---------- *)
+
+let obsv_protocol_names =
+  "trivial, full-exchange, one-round, basic, bucket, tree, tree-log-star, verified-tree, \
+   resilient, star, tournament"
+
+(* Run one seeded workload under a fresh collector + metrics registry.
+   Returns the collected events alongside the exact execution cost. *)
+let collect_run ~name ~r ~k ~universe_bits ~overlap ~players ~seed =
+  let universe = 1 lsl universe_bits in
+  let collector = Obsv.Trace.create () in
+  let registry = Obsv.Metrics.create () in
+  let rng = Prng.Rng.with_label (Prng.Rng.of_int seed) "cli-obsv" in
+  let two_party_pair () =
+    Workload.Setgen.pair_with_overlap
+      (Prng.Rng.with_label rng "workload")
+      ~universe ~size_s:k ~size_t:k
+      ~overlap:(Option.value overlap ~default:(k / 2))
+  in
+  let run () =
+    match name with
+    | "star" | "tournament" ->
+        let core = Option.value overlap ~default:(k / 4) in
+        let sets =
+          Workload.Setgen.family_with_core
+            (Prng.Rng.with_label rng "workload")
+            ~universe ~players ~size:k ~core
+        in
+        let result, cost =
+          if name = "star" then
+            Multiparty.Star.run (Prng.Rng.with_label rng "star") ~universe ~k sets
+          else Multiparty.Tournament.run (Prng.Rng.with_label rng "tournament") ~universe ~k sets
+        in
+        Ok (cost, Iset.cardinal result)
+    | "resilient" ->
+        let pair = two_party_pair () in
+        let report =
+          Resilient.run (Resilient.bucket_base ~k ()) ~plan:Commsim.Faults.clean
+            (Prng.Rng.with_label rng "resilient")
+            ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+        in
+        Ok (report.Resilient.cost, Iset.cardinal report.Resilient.result)
+    | name -> begin
+        match protocol_of_name name ~r ~k with
+        | Error _ -> Error (`Msg ("unknown protocol (try: " ^ obsv_protocol_names ^ ")"))
+        | Ok protocol ->
+            let pair = two_party_pair () in
+            let outcome =
+              protocol.Protocol.run rng ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+            in
+            Ok (outcome.Protocol.cost, Iset.cardinal outcome.Protocol.alice)
+      end
+  in
+  match Obsv.Trace.with_collector collector (fun () -> Obsv.Metrics.with_registry registry run) with
+  | Error e -> Error e
+  | Ok (cost, size) -> Ok (collector, registry, cost, size)
+
+let obsv_protocol_arg =
+  Arg.(
+    value
+    & opt string "bucket"
+    & info [ "protocol" ] ~docv:"P" ~doc:("Protocol name (one of: " ^ obsv_protocol_names ^ ")."))
+
+let obsv_r_arg =
+  Arg.(value & opt int 3 & info [ "r"; "stages" ] ~docv:"R" ~doc:"Stage budget for tree.")
+
+let obsv_players_arg =
+  Arg.(value & opt int 8 & info [ "players" ] ~docv:"M" ~doc:"Players (star/tournament only).")
+
+let obsv_k_arg =
+  Arg.(value & opt int 64 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
+
+let trace_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "format" ] ~docv:"F"
+          ~doc:"chrome (trace_event JSON for chrome://tracing) or jsonl (one event per line).")
+  in
+  let run name r k universe_bits overlap players seed format =
+    match collect_run ~name ~r ~k ~universe_bits ~overlap ~players ~seed with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        1
+    | Ok (collector, _registry, _cost, _size) ->
+        (match format with
+        | `Chrome -> print_endline (Stats.Json.to_string_pretty (Obsv.Export.chrome_trace collector))
+        | `Jsonl -> List.iter print_endline (Obsv.Export.jsonl collector));
+        0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one seeded execution of a named protocol with phase tracing enabled and emit the \
+          trace (Chrome trace_event JSON by default; load it in chrome://tracing or Perfetto).")
+    Term.(
+      const run $ obsv_protocol_arg $ obsv_r_arg $ obsv_k_arg $ universe_bits_arg $ overlap_arg
+      $ obsv_players_arg $ seed_arg $ format_arg)
+
+let profile_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the breakdown as JSON instead of tables.")
+  in
+  let run name r k universe_bits overlap players seed json =
+    match collect_run ~name ~r ~k ~universe_bits ~overlap ~players ~seed with
+    | Error (`Msg m) ->
+        prerr_endline m;
+        1
+    | Ok (collector, registry, cost, size) ->
+        let phase_bits = Obsv.Export.total_phase_bits collector in
+        let exact = phase_bits = cost.Commsim.Cost.total_bits in
+        if json then
+          print_endline
+            (Stats.Json.to_string_pretty
+               (Stats.Json.Obj
+                  [
+                    ("protocol", Stats.Json.Str name);
+                    ("k", Stats.Json.Int k);
+                    ("seed", Stats.Json.Int seed);
+                    ("total_bits", Stats.Json.Int cost.Commsim.Cost.total_bits);
+                    ("messages", Stats.Json.Int cost.Commsim.Cost.messages);
+                    ("rounds", Stats.Json.Int cost.Commsim.Cost.rounds);
+                    ("result_size", Stats.Json.Int size);
+                    ("phase_bits", Stats.Json.Int phase_bits);
+                    ("phase_bits_exact", Stats.Json.Bool exact);
+                    ("phases", Obsv.Export.phases_json collector);
+                    ("metrics", Obsv.Metrics.to_json registry);
+                  ]))
+        else begin
+          Printf.printf "profile: protocol=%s k=%d universe=2^%d seed=%d\n" name k universe_bits
+            seed;
+          Format.printf "%a; |result| = %d@." Commsim.Cost.pp_breakdown cost size;
+          print_newline ();
+          Stats.Table.print (Obsv.Export.phase_table collector);
+          print_newline ();
+          let per_player =
+            Stats.Table.create ~title:"per-player" ~columns:Commsim.Cost.breakdown_columns
+          in
+          List.iter (Stats.Table.add_row per_player) (Commsim.Cost.breakdown_rows cost);
+          Stats.Table.print per_player;
+          print_newline ();
+          print_endline "metrics:";
+          print_endline (Stats.Json.to_string_pretty (Obsv.Metrics.to_json registry));
+          Printf.printf "phase bits %d %s Cost.total_bits %d\n" phase_bits
+            (if exact then "=" else "<>")
+            cost.Commsim.Cost.total_bits
+        end;
+        if exact then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one seeded execution of a named protocol and print its per-phase budget breakdown \
+          (bits attributed to the sender's innermost span), the per-player cost table, and the \
+          metrics registry.  Exits non-zero if the per-phase bits fail to sum to the exact \
+          Cost.total_bits.")
+    Term.(
+      const run $ obsv_protocol_arg $ obsv_r_arg $ obsv_k_arg $ universe_bits_arg $ overlap_arg
+      $ obsv_players_arg $ seed_arg $ json_arg)
+
 let soak_cmd =
   let smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale configuration.") in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report instead of the table.") in
@@ -271,4 +437,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "intersect_cli" ~doc)
-          [ two_cmd; multi_cmd; disj_cmd; similarity_cmd; soak_cmd ]))
+          [ two_cmd; multi_cmd; disj_cmd; similarity_cmd; soak_cmd; trace_cmd; profile_cmd ]))

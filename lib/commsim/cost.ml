@@ -39,3 +39,26 @@ let avg_player_bits t =
 let pp ppf t =
   Format.fprintf ppf "@[<h>%d bits, %d messages, %d rounds (%d players)@]" t.total_bits
     t.messages t.rounds (Array.length t.players)
+
+let pp_breakdown ppf t =
+  Format.fprintf ppf "@[<v>%a" pp t;
+  Array.iteri
+    (fun i p ->
+      Format.fprintf ppf "@,  player %d: sent %d bits in %d msgs, received %d bits" i
+        p.sent_bits p.sent_messages p.received_bits)
+    t.players;
+  Format.fprintf ppf "@]"
+
+let breakdown_columns = [ "player"; "sent bits"; "sent msgs"; "received bits" ]
+
+let breakdown_rows t =
+  Array.to_list
+    (Array.mapi
+       (fun i p ->
+         [
+           string_of_int i;
+           string_of_int p.sent_bits;
+           string_of_int p.sent_messages;
+           string_of_int p.received_bits;
+         ])
+       t.players)

@@ -41,3 +41,14 @@ val max_player_bits : t -> int
 val avg_player_bits : t -> float
 
 val pp : Format.formatter -> t -> unit
+
+(** {!pp} followed by one per-player [sent/received] line each. *)
+val pp_breakdown : Format.formatter -> t -> unit
+
+(** Header + rows for a per-player [sent/received] table, ready for
+    [Stats.Table.create ~columns:breakdown_columns] / [add_row] — the CLI
+    and bench render cost records through these instead of hand-formatting
+    them. *)
+val breakdown_columns : string list
+
+val breakdown_rows : t -> string list list

@@ -44,7 +44,7 @@ let recv_any _ep = perform Recv_any_eff
 
 exception Deadlock of string
 
-type trace_entry = { from_ : int; to_ : int; bits : int; depth : int }
+type trace_entry = { from_ : int; to_ : int; bits : int; depth : int; span : int option }
 
 type blocked = { rank : int; waiting_for : int option }
 type diagnosis = { blocked : blocked list; dropped : int; detail : string }
@@ -73,7 +73,15 @@ let run_with ~trace ~faults players =
   let results = Array.make m None in
   let runnable : (unit -> unit) Queue.t = Queue.create () in
   let rounds = ref 0 and total_bits = ref 0 and messages = ref 0 in
+  (* Entries accumulate newest-first; the single [List.rev] at the return
+     site below restores send order. *)
   let entries = ref [] in
+  (* The ambient observability hooks.  They never touch the cost meters:
+     with tracing disabled (the default collector) every call below is a
+     no-op branch, and with it enabled only the sidecar event record grows,
+     so [Cost.t] is bit-identical either way. *)
+  let collector = Obsv.Trace.current () in
+  let observing = Obsv.Trace.enabled collector in
   let tallies = Faults.create_tallies ~players:m in
   let link_index = Array.init m (fun _ -> Array.make m 0) in
   let crashes = ref [] in
@@ -97,11 +105,13 @@ let run_with ~trace ~faults players =
     match st.status with
     | Blocked (k, from_) when not (Queue.is_empty st.inboxes.(from_)) ->
         st.status <- Runnable;
+        if observing then Obsv.Trace.set_rank collector (Some st.rank);
         continue k (consume st from_)
     | Blocked_any k -> begin
         match first_nonempty_inbox st with
         | Some from_ ->
             st.status <- Runnable;
+            if observing then Obsv.Trace.set_rank collector (Some st.rank);
             continue k (from_, consume st from_)
         | None -> ()
       end
@@ -116,7 +126,14 @@ let run_with ~trace ~faults players =
     rounds := max !rounds depth;
     total_bits := !total_bits + len;
     incr messages;
-    if trace then entries := { from_ = st.rank; to_; bits = len; depth } :: !entries;
+    (* [observe] self-gates on the ambient registry, so metrics work with or
+       without tracing. *)
+    Obsv.Metrics.observe "net/payload_bits" len;
+    let span =
+      if observing then Obsv.Trace.on_message collector ~from_:st.rank ~to_ ~bits:len ~depth
+      else None
+    in
+    if trace then entries := { from_ = st.rank; to_; bits = len; depth; span } :: !entries;
     st.sent_bits <- st.sent_bits + len;
     st.sent_messages <- st.sent_messages + 1;
     let peer = states.(to_) in
@@ -127,6 +144,7 @@ let run_with ~trace ~faults players =
     | Blocked _ | Runnable | Finished -> ()
   in
   let start st rank () =
+    if observing then Obsv.Trace.set_rank collector (Some rank);
     match_with (players.(rank)) st
       {
         retc =
@@ -182,7 +200,9 @@ let run_with ~trace ~faults players =
         schedule ()
     | None -> ()
   in
-  schedule ();
+  if observing then
+    Fun.protect ~finally:(fun () -> Obsv.Trace.set_rank collector None) schedule
+  else schedule ();
   let outcome =
     match List.rev !crashes with
     | (rank, exn) :: _ -> Crashed { rank; exn }

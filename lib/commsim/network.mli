@@ -35,8 +35,10 @@ exception Deadlock of string
     that can no longer arrive. *)
 
 (** One sent message, as recorded by {!run_traced}: sender, recipient,
-    payload length, and the message's causal depth (its round). *)
-type trace_entry = { from_ : int; to_ : int; bits : int; depth : int }
+    payload length, the message's causal depth (its round), and — when an
+    {!Obsv.Trace} collector is installed — the id of the sender's innermost
+    open span at send time. *)
+type trace_entry = { from_ : int; to_ : int; bits : int; depth : int; span : int option }
 
 (** [run players] runs all player functions to completion and returns their
     results with the cost of the execution.  Players may finish in any
@@ -79,7 +81,12 @@ val run_faulty :
   (endpoint -> 'a) array ->
   'a array outcome * Cost.t * Faults.tallies
 
-(** Like {!run_faulty}, also returning the trace of delivered copies. *)
+(** Like {!run_faulty}, also returning the trace of delivered copies, in
+    send (delivery) order.  The {!run_traced} invariants hold under damage
+    too, for every outcome including [Lost] and [Crashed] (tested): one
+    entry per {e delivered} payload copy (dropped messages leave no entry,
+    duplicated ones leave two), entry bits sum to [cost.total_bits], and
+    the maximum entry depth equals [cost.rounds]. *)
 val run_faulty_traced :
   plan:Faults.plan ->
   (endpoint -> 'a) array ->

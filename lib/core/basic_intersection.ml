@@ -23,15 +23,16 @@ let run rng ~failure chan ~first mine =
   let open Commsim.Chan in
   let my_size = Array.length mine in
   let their_size =
-    if first then begin
-      chan.send (Wire.gamma_msg my_size);
-      Wire.read_gamma_msg (chan.recv ())
-    end
-    else begin
-      let n = Wire.read_gamma_msg (chan.recv ()) in
-      chan.send (Wire.gamma_msg my_size);
-      n
-    end
+    Obsv.Trace.span "bi/sizes" (fun () ->
+        if first then begin
+          chan.send (Wire.gamma_msg my_size);
+          Wire.read_gamma_msg (chan.recv ())
+        end
+        else begin
+          let n = Wire.read_gamma_msg (chan.recv ()) in
+          chan.send (Wire.gamma_msg my_size);
+          n
+        end)
   in
   let m = my_size + their_size in
   let bits = tag_bits ~m ~failure in
@@ -41,16 +42,18 @@ let run rng ~failure chan ~first mine =
     write_tags buf fn mine;
     Bitio.Bitbuf.contents buf
   in
+  Obsv.Metrics.observe "bi/tag_bits" bits;
   let their_tags =
-    if first then begin
-      chan.send my_tags;
-      chan.recv ()
-    end
-    else begin
-      let t = chan.recv () in
-      chan.send my_tags;
-      t
-    end
+    Obsv.Trace.span "bi/tags" ~attrs:[ ("bits", string_of_int bits) ] (fun () ->
+        if first then begin
+          chan.send my_tags;
+          chan.recv ()
+        end
+        else begin
+          let t = chan.recv () in
+          chan.send my_tags;
+          t
+        end)
   in
   let table = read_tag_keys (Bitio.Bitreader.create their_tags) ~bits ~count:their_size in
   filter_by_tags fn table mine

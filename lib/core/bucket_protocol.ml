@@ -36,6 +36,7 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
   (* Draw buckets, exchange counts; retry together if the pair count is
      extreme (both parties see the same counts, so they stay in lockstep). *)
   let rec choose_buckets attempt =
+    if attempt > 0 then Obsv.Metrics.incr "bucket/retries";
     let h =
       Hashing.Carter_wegman.create
         (Prng.Rng.with_label rng (Printf.sprintf "bucket/assign/%d" attempt))
@@ -53,14 +54,15 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
         let reader = Bitio.Bitreader.create payload in
         Array.init k (fun _ -> Bitio.Codes.read_gamma reader)
       in
-      match role with
-      | `Alice ->
-          chan.send counts_msg;
-          read (chan.recv ())
-      | `Bob ->
-          let payload = chan.recv () in
-          chan.send counts_msg;
-          read payload
+      Obsv.Trace.span "bucket/assign" ~attrs:[ ("attempt", string_of_int attempt) ] (fun () ->
+          match role with
+          | `Alice ->
+              chan.send counts_msg;
+              read (chan.recv ())
+          | `Bob ->
+              let payload = chan.recv () in
+              chan.send counts_msg;
+              read payload)
     in
     let pair_count = ref 0 in
     Array.iteri (fun i c -> pair_count := !pair_count + (c * their_counts.(i))) my_counts;
@@ -68,6 +70,7 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
     else (buckets, their_counts)
   in
   let buckets, their_counts = choose_buckets 0 in
+  Array.iter (fun bucket -> Obsv.Metrics.observe "bucket/occupancy" (Array.length bucket)) buckets;
   (* Build the common instance list: for bucket i, the cross product of
      Alice's and Bob's elements in rank order.  Each party's input to an
      instance is its own element's fixed-width image encoding. *)
@@ -91,11 +94,14 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
     buckets;
   let instances = Array.of_list (List.rev !instances) in
   let owners = Array.of_list (List.rev !owners) in
+  Obsv.Metrics.set_gauge "bucket/instances" (Array.length instances);
   let eq_rng = Prng.Rng.with_label rng "bucket/eq-batch" in
   let verdicts =
-    match role with
-    | `Alice -> Eq_batch.run_alice ?sequential eq_rng chan instances
-    | `Bob -> Eq_batch.run_bob ?sequential eq_rng chan instances
+    Obsv.Trace.span "bucket/eq" ~attrs:[ ("instances", string_of_int (Array.length instances)) ]
+      (fun () ->
+        match role with
+        | `Alice -> Eq_batch.run_alice ?sequential eq_rng chan instances
+        | `Bob -> Eq_batch.run_bob ?sequential eq_rng chan instances)
   in
   let matched_images = ref [] in
   Array.iteri (fun idx equal -> if equal then matched_images := owners.(idx) :: !matched_images) verdicts;

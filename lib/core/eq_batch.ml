@@ -59,6 +59,8 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
   (* Unconditional-termination fallback: exchange the remaining strings. *)
   let exact_round groups =
     let idxs = List.concat_map (fun g -> g.undecided) groups in
+    Obsv.Metrics.incr "eq/exact_fallbacks";
+    Obsv.Metrics.incr ~by:(List.length idxs) "eq/exact_instances";
     let mismatches =
       match role with
       | Alice ->
@@ -87,17 +89,20 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
     let iteration = ref 0 in
     while !active <> [] do
       if !iteration >= max_iterations then begin
-        exact_round !active;
+        Obsv.Trace.span "eq/exact" (fun () -> exact_round !active);
         active := []
       end
       else begin
         let bits = min 32 (2 lsl !iteration) in
+        Obsv.Metrics.incr "eq/tag_rounds";
+        Obsv.Metrics.observe "eq/tag_bits" bits;
         let entries =
           List.concat_map (fun g -> List.map (fun idx -> (g.gid, idx)) g.undecided) !active
         in
         let mismatches =
-          tag_round entries ~tag_of:(fun (gid, idx) ->
-              instance_tag ~gid ~iteration:!iteration ~idx ~bits)
+          Obsv.Trace.span "eq/tags" (fun () ->
+              tag_round entries ~tag_of:(fun (gid, idx) ->
+                  instance_tag ~gid ~iteration:!iteration ~idx ~bits))
         in
         (* Settle mismatching instances; remember which groups stayed clean. *)
         let dirty = Hashtbl.create 8 in
@@ -115,12 +120,14 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
         (* Clean, still-undecided groups take a joint verification test. *)
         let candidates = List.filter (fun g -> not (Hashtbl.mem dirty g.gid)) !active in
         if candidates <> [] then begin
+          Obsv.Metrics.incr "eq/joint_checks";
           let passed =
-            tag_round
-              (List.map (fun g -> (g.gid, -1)) candidates)
-              ~tag_of:(fun (gid, _) ->
-                let g = List.find (fun g -> g.gid = gid) candidates in
-                joint_tag ~gid ~iteration:!iteration g.undecided)
+            Obsv.Trace.span "eq/joint" (fun () ->
+                tag_round
+                  (List.map (fun g -> (g.gid, -1)) candidates)
+                  ~tag_of:(fun (gid, _) ->
+                    let g = List.find (fun g -> g.gid = gid) candidates in
+                    joint_tag ~gid ~iteration:!iteration g.undecided))
           in
           (* [mismatch = false] means the joint tags agreed: declare equal. *)
           List.iteri

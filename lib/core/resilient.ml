@@ -143,10 +143,12 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
   (* The reliable fallback: the deterministic exchange on a clean channel,
      modelling a retransmitting transport of known worst-case cost. *)
   let fallback ~attempts ~failures ~width =
+    Obsv.Metrics.incr "resilient/fallbacks";
     let (result, _), cost =
-      Commsim.Two_party.run
-        ~alice:(fun chan -> trivial_alice rng ~universe s chan)
-        ~bob:(fun chan -> trivial_bob rng ~universe t chan)
+      Obsv.Trace.span "resilient/fallback" (fun () ->
+          Commsim.Two_party.run
+            ~alice:(fun chan -> trivial_alice rng ~universe s chan)
+            ~bob:(fun chan -> trivial_bob rng ~universe t chan))
     in
     finish ~result ~verified:false ~degraded:true ~attempts ~failures ~width
       ~fallback_bits:cost.Commsim.Cost.total_bits ~fallback_cost:(Some cost)
@@ -159,21 +161,37 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
     (* Each retry must face fresh channel noise: message indices restart at
        zero every run, so an unsalted plan would replay the exact damage
        that failed the previous attempt. *)
+    Obsv.Metrics.incr "resilient/attempts";
+    Obsv.Metrics.set_gauge "resilient/check_bits" width;
     let outcome, cost, tallies =
-      Commsim.Two_party.run_faulty ~plan:(Commsim.Faults.reseed plan ~salt:i)
-        ~alice:(fun chan ->
-          let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
-          let candidate = base.alice base_rng ~universe s chan in
-          let accepted = Equality.run_alice_set check_rng ~bits:width chan candidate in
-          (candidate, accepted))
-        ~bob:(fun chan ->
-          let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
-          let candidate = base.bob base_rng ~universe t chan in
-          let accepted = Equality.run_bob_set check_rng ~bits:width chan candidate in
-          (candidate, accepted))
+      Obsv.Trace.span "resilient/attempt"
+        ~attrs:[ ("attempt", string_of_int i); ("check_bits", string_of_int width) ]
+        (fun () ->
+          Commsim.Two_party.run_faulty ~plan:(Commsim.Faults.reseed plan ~salt:i)
+            ~alice:(fun chan ->
+              let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
+              let candidate = base.alice base_rng ~universe s chan in
+              let accepted =
+                Obsv.Trace.span "resilient/verify" (fun () ->
+                    Equality.run_alice_set check_rng ~bits:width chan candidate)
+              in
+              (candidate, accepted))
+            ~bob:(fun chan ->
+              let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
+              let candidate = base.bob base_rng ~universe t chan in
+              let accepted =
+                Obsv.Trace.span "resilient/verify" (fun () ->
+                    Equality.run_bob_set check_rng ~bits:width chan candidate)
+              in
+              (candidate, accepted)))
     in
     record cost tallies;
     let retry failure =
+      Obsv.Metrics.incr
+        (match failure with
+        | Check_rejected -> "resilient/check_rejected"
+        | Channel_lost _ -> "resilient/channel_lost"
+        | Party_crashed _ -> "resilient/party_crashed");
       let failures = failure :: failures in
       (* Backoff in bits only answers check rejections: a rejection means
          the verification randomness itself may have been unlucky, so the

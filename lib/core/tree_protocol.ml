@@ -8,15 +8,17 @@ let stage_eq_bits fl = max 8 (4 * Iterated_log.log2_ceil (fl + 1))
    original inputs over the same channel. *)
 let trivial_fallback role chan mine =
   let open Commsim.Chan in
-  match role with
-  | `Alice ->
-      chan.send (Wire.of_set mine);
-      Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.recv ()))
-  | `Bob ->
-      let theirs = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.recv ())) in
-      let intersection = Iset.inter theirs mine in
-      chan.send (Wire.of_set intersection);
-      intersection
+  Obsv.Metrics.incr "tree/fallbacks";
+  Obsv.Trace.span "tree/fallback" (fun () ->
+      match role with
+      | `Alice ->
+          chan.send (Wire.of_set mine);
+          Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.recv ()))
+      | `Bob ->
+          let theirs = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.recv ())) in
+          let intersection = Iset.inter theirs mine in
+          chan.send (Wire.of_set intersection);
+          intersection)
 
 exception Over_budget
 
@@ -67,9 +69,13 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
     (* Stage messages 1-2: batched equality tests at level L_stage.  Bob
        replies with the failed-node bitmap plus his bucket sizes under the
        failed nodes (needed to parameterize the re-runs). *)
+    Obsv.Metrics.observe "tree/eq_bits" eq_bits;
     let failed_leaves, their_sizes =
-      match role with
-      | `Alice ->
+      Obsv.Trace.span "tree/eq"
+        ~attrs:[ ("stage", string_of_int stage); ("eq_bits", string_of_int eq_bits) ]
+        (fun () ->
+          match role with
+          | `Alice ->
           let buf = Bitio.Bitbuf.create () in
           Array.iteri (fun vi node -> Bitio.Bitbuf.append buf (node_tag vi node)) nodes;
           chan.send (Bitio.Bitbuf.contents buf);
@@ -102,19 +108,21 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
           Array.iter (Bitio.Bitbuf.write_bit buf) failed;
           List.iter (fun u -> Bitio.Codes.write_gamma buf (Array.length assign.(u))) failed_leaves;
           chan.send (Bitio.Bitbuf.contents buf);
-          (failed_leaves, List.map (fun u -> Array.length assign.(u)) failed_leaves)
+          (failed_leaves, List.map (fun u -> Array.length assign.(u)) failed_leaves))
     in
     (* Stage messages 3-4: batched Basic-Intersection re-runs on every leaf
        below a failed node (Lemma 3.3, with this stage's error target).
        Alice ships her sizes and element tags; Bob filters his buckets,
        ships his own tags of the pre-filter buckets; Alice filters hers. *)
     if failed_leaves <> [] then begin
+      Obsv.Metrics.incr ~by:(List.length failed_leaves) "tree/failed_leaves";
       let leaf_fn u m =
         let label = Printf.sprintf "tree/bi/leaf%d/run%d" u rerun.(u) in
         let bits = Basic_intersection.tag_bits ~m ~failure in
         Strhash.create (Prng.Rng.with_label rng label) ~bits
       in
-      (match role with
+      Obsv.Trace.span "tree/rerun" ~attrs:[ ("stage", string_of_int stage) ] (fun () ->
+      match role with
       | `Alice ->
           let sizes = List.combine failed_leaves their_sizes in
           let buf = Bitio.Bitbuf.create () in

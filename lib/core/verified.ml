@@ -8,13 +8,19 @@ let run base ~bits ~max_attempts rng ~universe s t =
   if max_attempts < 1 then invalid_arg "Verified.run: max_attempts";
   let rec attempt i acc_cost =
     let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "verified/attempt%d" i) in
-    let outcome = base.Protocol.run attempt_rng ~universe s t in
+    Obsv.Metrics.incr "verified/attempts";
+    let outcome =
+      Obsv.Trace.span "verified/attempt" ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
+          base.Protocol.run attempt_rng ~universe s t)
+    in
     let eq_rng = Prng.Rng.with_label attempt_rng "verified/check" in
     let (passed, _), check_cost =
-      Commsim.Two_party.run
-        ~alice:(fun chan -> Equality.run_alice_set eq_rng ~bits chan outcome.Protocol.alice)
-        ~bob:(fun chan -> Equality.run_bob_set eq_rng ~bits chan outcome.Protocol.bob)
+      Obsv.Trace.span "verified/check" ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
+          Commsim.Two_party.run
+            ~alice:(fun chan -> Equality.run_alice_set eq_rng ~bits chan outcome.Protocol.alice)
+            ~bob:(fun chan -> Equality.run_bob_set eq_rng ~bits chan outcome.Protocol.bob))
     in
+    if not passed then Obsv.Metrics.incr "verified/rejections";
     let acc_cost = Commsim.Cost.add_seq acc_cost (Commsim.Cost.add_seq outcome.Protocol.cost check_cost) in
     if passed || i >= max_attempts then
       { outcome = { outcome with Protocol.cost = acc_cost }; attempts = i; verified = passed }
@@ -27,12 +33,16 @@ type party_result = { candidate : Iset.t; attempts : int; verified : bool }
 let run_party role rng ~bits ~max_attempts chan ~party =
   let rec attempt i =
     let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "attempt%d" i) in
-    let candidate = party attempt_rng chan in
+    let candidate =
+      Obsv.Trace.span "verified/attempt" ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
+          party attempt_rng chan)
+    in
     let eq_rng = Prng.Rng.with_label attempt_rng "check" in
     let passed =
-      match role with
-      | `Alice -> Equality.run_alice_set eq_rng ~bits chan candidate
-      | `Bob -> Equality.run_bob_set eq_rng ~bits chan candidate
+      Obsv.Trace.span "verified/check" (fun () ->
+          match role with
+          | `Alice -> Equality.run_alice_set eq_rng ~bits chan candidate
+          | `Bob -> Equality.run_bob_set eq_rng ~bits chan candidate)
     in
     if passed || i >= max_attempts then { candidate; attempts = i; verified = passed }
     else attempt (i + 1)

@@ -27,30 +27,31 @@ let run_internal ?r ?(max_attempts = 30) ~broadcast rng ~universe ~k sets =
             let pair_rng member =
               Prng.Rng.with_label rng (Printf.sprintf "star/l%d/pair%d" !level member)
             in
-            if rank = coordinator then begin
-              let sessions =
-                List.map
-                  (fun member ->
-                    ( member,
-                      fun chan ->
-                        (Verified.run_party `Bob (pair_rng member) ~bits ~max_attempts chan
-                           ~party:(pair_party !holding `Bob))
-                          .Verified.candidate ))
-                  members
-              in
-              let results = Commsim.Multiplex.run ep sessions in
-              holding := List.fold_left Iset.inter !holding results
-            end
-            else begin
-              let chan = Commsim.Chan.of_endpoint ep ~peer:coordinator in
-              let candidate =
-                (Verified.run_party `Alice (pair_rng rank) ~bits ~max_attempts chan
-                   ~party:(pair_party !holding `Alice))
-                  .Verified.candidate
-              in
-              holding := candidate;
-              still_active := false
-            end);
+            let level_attrs = [ ("level", string_of_int !level) ] in
+            if rank = coordinator then
+              Obsv.Trace.span "star/coordinate" ~attrs:level_attrs (fun () ->
+                  let sessions =
+                    List.map
+                      (fun member ->
+                        ( member,
+                          fun chan ->
+                            (Verified.run_party `Bob (pair_rng member) ~bits ~max_attempts chan
+                               ~party:(pair_party !holding `Bob))
+                              .Verified.candidate ))
+                      members
+                  in
+                  let results = Commsim.Multiplex.run ep sessions in
+                  holding := List.fold_left Iset.inter !holding results)
+            else
+              Obsv.Trace.span "star/pair" ~attrs:level_attrs (fun () ->
+                  let chan = Commsim.Chan.of_endpoint ep ~peer:coordinator in
+                  let candidate =
+                    (Verified.run_party `Alice (pair_rng rank) ~bits ~max_attempts chan
+                       ~party:(pair_party !holding `Alice))
+                      .Verified.candidate
+                  in
+                  holding := candidate;
+                  still_active := false));
         active := List.map List.hd groups;
         incr level
       done;

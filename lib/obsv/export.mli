@@ -1,0 +1,41 @@
+(** Exporters over a {!Trace.collector}: Chrome [trace_event] JSON, a JSONL
+    event stream, and the per-phase cost breakdown.
+
+    All exports are pure functions of the collected events, which are
+    themselves deterministic under a fixed seed — re-running the same
+    seeded execution yields byte-identical output. *)
+
+(** Phase name used for messages sent outside any span. *)
+val unattributed : string
+
+(** Chrome [trace_event] JSON (load in [chrome://tracing] or Perfetto):
+    spans as complete events on one track per player (plus an orchestrator
+    track), messages as instant events, with bits/depth/span in [args].
+    The deterministic event sequence number stands in for microseconds. *)
+val chrome_trace : Trace.collector -> Stats.Json.t
+
+(** One compact JSON object per line ([span_open] / [message] /
+    [span_close]), merged in sequence order. *)
+val jsonl : Trace.collector -> string list
+
+type phase = {
+  phase : string;  (** span name, or {!unattributed} *)
+  bits : int;
+  messages : int;
+  max_depth : int;
+}
+
+(** Per-phase ledger in order of first message: every message is counted
+    exactly once (at its innermost span), so [bits] over all rows sums to
+    the [Cost.total_bits] of the collected executions. *)
+val phases : Trace.collector -> phase list
+
+(** Sum of {!phases} bits — by construction the total bits of every message
+    the collector saw. *)
+val total_phase_bits : Trace.collector -> int
+
+(** The ledger as a rendered {!Stats.Table} with a share column and a total
+    row. *)
+val phase_table : ?title:string -> Trace.collector -> Stats.Table.t
+
+val phases_json : Trace.collector -> Stats.Json.t

@@ -1,0 +1,125 @@
+(* Value [v] lands in bucket [bits v]: 0 for 0, i for [2^(i-1), 2^i).  63
+   buckets cover the full non-negative int range. *)
+let bucket_count = 63
+
+type histogram = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+type registry = {
+  enabled : bool;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let make ~enabled =
+  {
+    enabled;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let disabled = make ~enabled:false
+let create () = make ~enabled:true
+let enabled r = r.enabled
+
+let ambient_registry = ref disabled
+let current () = !ambient_registry
+
+let with_registry r f =
+  let prev = !ambient_registry in
+  ambient_registry := r;
+  Fun.protect ~finally:(fun () -> ambient_registry := prev) f
+
+let find tbl name create_v =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = create_v () in
+      Hashtbl.replace tbl name v;
+      v
+
+let incr ?(by = 1) name =
+  let r = !ambient_registry in
+  if r.enabled then
+    let c = find r.counters name (fun () -> ref 0) in
+    c := !c + by
+
+let set_gauge name v =
+  let r = !ambient_registry in
+  if r.enabled then
+    let g = find r.gauges name (fun () -> ref 0) in
+    g := v
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (bucket_count - 1) (bits 0 v)
+
+let observe name v =
+  let r = !ambient_registry in
+  if r.enabled then begin
+    let h =
+      find r.histograms name (fun () ->
+          { count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = Array.make bucket_count 0 })
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+let counter_value r name =
+  match Hashtbl.find_opt r.counters name with Some c -> !c | None -> 0
+
+let gauge_value r name = match Hashtbl.find_opt r.gauges name with Some g -> Some !g | None -> None
+let histogram_of r name = Hashtbl.find_opt r.histograms name
+
+let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+(* Buckets are labelled by their upper bound: "<=2^i" holds [2^(i-1), 2^i). *)
+let bucket_label i = if i = 0 then "0" else Printf.sprintf "<=2^%d" i
+
+let to_json r =
+  let counters =
+    List.map (fun k -> (k, Stats.Json.Int !(Hashtbl.find r.counters k))) (sorted_keys r.counters)
+  in
+  let gauges =
+    List.map (fun k -> (k, Stats.Json.Int !(Hashtbl.find r.gauges k))) (sorted_keys r.gauges)
+  in
+  let histograms =
+    List.map
+      (fun k ->
+        let h = Hashtbl.find r.histograms k in
+        let buckets =
+          Array.to_list h.buckets
+          |> List.mapi (fun i n -> (i, n))
+          |> List.filter (fun (_, n) -> n > 0)
+          |> List.map (fun (i, n) -> (bucket_label i, Stats.Json.Int n))
+        in
+        ( k,
+          Stats.Json.Obj
+            [
+              ("count", Stats.Json.Int h.count);
+              ("sum", Stats.Json.Int h.sum);
+              ("min", if h.count = 0 then Stats.Json.Null else Stats.Json.Int h.min_v);
+              ("max", if h.count = 0 then Stats.Json.Null else Stats.Json.Int h.max_v);
+              ("buckets", Stats.Json.Obj buckets);
+            ] ))
+      (sorted_keys r.histograms)
+  in
+  Stats.Json.Obj
+    [
+      ("counters", Stats.Json.Obj counters);
+      ("gauges", Stats.Json.Obj gauges);
+      ("histograms", Stats.Json.Obj histograms);
+    ]

@@ -1,0 +1,52 @@
+(** A metrics registry: named counters, gauges, and log₂-scaled histograms
+    that protocol code records into.
+
+    Like {!Trace}, the registry is ambient ({!with_registry}) and the
+    default is {!disabled}, so instrumentation in hot paths costs one load
+    and one branch when metrics are off.  All values are integers and all
+    exports sort their keys, so a fixed seed produces byte-identical
+    output. *)
+
+type registry
+
+(** The shared no-op registry (the ambient default). *)
+val disabled : registry
+
+val create : unit -> registry
+val enabled : registry -> bool
+
+(** The ambient registry ({!disabled} unless inside {!with_registry}). *)
+val current : unit -> registry
+
+val with_registry : registry -> (unit -> 'a) -> 'a
+
+(** [incr ?by name] bumps counter [name] (created at zero on first use). *)
+val incr : ?by:int -> string -> unit
+
+(** [set_gauge name v] records the latest value of [name]. *)
+val set_gauge : string -> int -> unit
+
+(** [observe name v] adds [v] to histogram [name].  Buckets are powers of
+    two: [v] lands in the bucket for [2^(i-1) <= v < 2^i] (bucket "0" holds
+    non-positive values), so payload sizes, widths and occupancies keep a
+    compact, deterministic shape. *)
+val observe : string -> int -> unit
+
+(** Readbacks for tests and reports (0 / [None] when never recorded). *)
+val counter_value : registry -> string -> int
+
+val gauge_value : registry -> string -> int option
+
+type histogram = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+val histogram_of : registry -> string -> histogram option
+
+(** Deterministic export: keys sorted, only non-empty buckets, shape
+    [{counters; gauges; histograms}]. *)
+val to_json : registry -> Stats.Json.t

@@ -1,0 +1,83 @@
+(** Phase-attributed tracing.
+
+    A {!collector} records a timeline of {e spans} (named phases of a
+    protocol, opened and closed by the code that implements them) and
+    {e message events} (one per payload that crosses the simulated wire,
+    recorded by {!Commsim.Network}).  Every message is attributed to the
+    innermost span its {e sender} had open at send time, so per-phase
+    communication budgets fall out of the record exactly: summing message
+    bits per span name reproduces [Cost.total_bits] with no double counting.
+
+    Time is a deterministic event sequence number (span open, message, span
+    close each advance it by one), never a wall clock, so a fixed seed
+    yields a byte-identical trace.
+
+    The collector is ambient: {!with_collector} installs one for the
+    duration of a run and instrumented code calls {!span} without threading
+    a handle.  The default is {!disabled}, a shared no-op: when nobody is
+    tracing, {!span} costs one load and one branch and allocates nothing,
+    and the simulator's cost accounting is untouched either way. *)
+
+type attr = string * string
+
+type span = {
+  id : int;  (** 1-based, in creation order *)
+  name : string;
+  attrs : attr list;
+  rank : int option;  (** opening player, [None] = orchestrator code *)
+  parent : int option;  (** enclosing span id *)
+  start_seq : int;
+  mutable end_seq : int;  (** [-1] while open (player abandoned mid-span) *)
+  mutable bits : int;  (** payload bits attributed directly to this span *)
+  mutable messages : int;
+}
+
+type message = {
+  seq : int;
+  from_ : int;
+  to_ : int;
+  bits : int;
+  depth : int;  (** causal depth, as in {!Commsim.Network.trace_entry} *)
+  span : int option;  (** innermost open span of the sender *)
+}
+
+type collector
+
+(** The shared no-op collector (the ambient default). *)
+val disabled : collector
+
+val create : unit -> collector
+val enabled : collector -> bool
+
+(** The ambient collector ({!disabled} unless inside {!with_collector}). *)
+val current : unit -> collector
+
+(** [with_collector c f] installs [c] as the ambient collector for the
+    duration of [f] (restored on exception). *)
+val with_collector : collector -> (unit -> 'a) -> 'a
+
+(** [span ~attrs name f] runs [f] inside a span named [name] on the ambient
+    collector.  Inside a simulated execution the span belongs to the player
+    whose code opened it; outside it belongs to the orchestrator and acts
+    as a fallback parent for every player.  No-op when tracing is
+    disabled. *)
+val span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+
+(** Scheduler hook: the player about to run ([None] outside a simulated
+    execution).  Called by {!Commsim.Network}. *)
+val set_rank : collector -> int option -> unit
+
+(** Scheduler hook: record one delivered payload and return the id of the
+    sender's innermost open span.  Called by {!Commsim.Network} at delivery
+    time; [None] when disabled or unattributed. *)
+val on_message : collector -> from_:int -> to_:int -> bits:int -> depth:int -> int option
+
+(** All spans in creation order. *)
+val spans : collector -> span list
+
+(** All message events in send (delivery) order. *)
+val messages : collector -> message list
+
+(** The sequence number one past the last event; exporters use it to close
+    spans whose players never returned. *)
+val final_seq : collector -> int

@@ -155,6 +155,31 @@ let test_replay_determinism () =
   check_bool "tallies replay" true (tallies1 = tallies2);
   check_bool "the storm did something" false (Faults.tally_is_clean (Faults.total tallies1))
 
+(* ---------- Trace invariants survive damage ----------
+   One entry per delivered copy, in send order: bits sum to the metered
+   total and the deepest entry is the causal round count, whatever the
+   plan drops or duplicates (the documented run_faulty_traced contract). *)
+
+let test_traced_invariants_under_damage () =
+  let check_plan name plan =
+    let _outcome, cost, trace, _tallies =
+      Network.run_faulty_traced ~plan [| chatter; chatter |]
+    in
+    check
+      (name ^ ": entry bits sum to cost.total_bits")
+      cost.Cost.total_bits
+      (List.fold_left (fun acc e -> acc + e.Network.bits) 0 trace);
+    check (name ^ ": one entry per delivered copy") cost.Cost.messages (List.length trace);
+    check
+      (name ^ ": max entry depth equals cost.rounds")
+      cost.Cost.rounds
+      (List.fold_left (fun acc e -> max acc e.Network.depth) 0 trace)
+  in
+  check_plan "storm (flips, dups, drops)" (Faults.uniform ~seed:99 storm);
+  check_plan "dup-heavy" (Faults.uniform ~seed:3 { Faults.flip = 0.0; trunc = 0.0; dup = 1.0; drop = 0.0 });
+  check_plan "drop-heavy" (Faults.uniform ~seed:5 (Faults.dropping 0.5));
+  check_plan "clean" Faults.clean
+
 let test_reseed () =
   let plan = Faults.uniform ~seed:99 storm in
   check_bool "reseed is deterministic" true
@@ -313,6 +338,8 @@ let () =
           Alcotest.test_case "truncation tally" `Quick test_truncation_tally;
           Alcotest.test_case "crash captured" `Quick test_crash_is_captured;
           Alcotest.test_case "seed replay determinism" `Quick test_replay_determinism;
+          Alcotest.test_case "traced invariants under damage" `Quick
+            test_traced_invariants_under_damage;
           Alcotest.test_case "reseed derives fresh noise" `Quick test_reseed;
         ] );
       ( "guard",

@@ -1,10 +1,23 @@
 #!/bin/sh
-# Tier-1 gate: full build + test suite, then a seconds-scale soak smoke of
-# the resilient wrapper against adversarial channels (exits non-zero if any
-# cell violates the paper's error bound).
+# Tier-1 gate: full build + test suite, a seconds-scale soak smoke of the
+# resilient wrapper against adversarial channels (exits non-zero if any
+# cell violates the paper's error bound), and an observability smoke: the
+# trace subcommand must emit valid JSON and the profile subcommand must
+# account for every metered bit (it exits non-zero on a phase-sum
+# mismatch).
 set -eu
 cd "$(dirname "$0")"
 
 dune build
 dune runtest
 dune exec bench/soak.exe -- --smoke --trials 12
+
+dune exec bin/intersect_cli.exe -- trace --protocol bucket -k 64 --seed 1 \
+  | ./_build/default/bin/json_check.exe
+dune exec bin/intersect_cli.exe -- profile --protocol bucket -k 64 --seed 1 > /dev/null
+
+# Formatting gate, where the formatter is installed (the CI image may not
+# ship ocamlformat; .ocamlformat pins the profile either way).
+if command -v ocamlformat > /dev/null 2>&1; then
+  dune build @fmt
+fi
