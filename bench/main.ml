@@ -9,11 +9,17 @@
      --no-micro     skip the Bechamel timing section
      --micro-only   only the Bechamel timing section
      --trace-overhead  only the tracing-tax measurement (writes
-                       BENCH_trace_overhead.json) *)
+                       BENCH_trace_overhead.json)
+     --engine-scaling  only the trial-engine throughput measurement
+                       (writes BENCH_engine_scaling.json) *)
 
-let run quick only no_micro micro_only trace_overhead =
+let run quick only no_micro micro_only trace_overhead engine_scaling =
   if trace_overhead then begin
     Micro.trace_overhead ();
+    exit 0
+  end;
+  if engine_scaling then begin
+    Scaling.run ();
     exit 0
   end;
   (match List.find_opt (fun n -> not (List.mem n Tables.names)) only with
@@ -53,10 +59,18 @@ let trace_overhead =
     & info [ "trace-overhead" ]
         ~doc:"Measure the cost of enabled vs disabled tracing and write BENCH_trace_overhead.json.")
 
+let engine_scaling =
+  Arg.(
+    value & flag
+    & info [ "engine-scaling" ]
+        ~doc:
+          "Measure trial-engine throughput at 1/2/4 worker domains and write \
+           BENCH_engine_scaling.json.")
+
 let cmd =
   let doc = "Regenerate the experiment tables of the PODC'14 set-intersection reproduction." in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const run $ quick $ only $ no_micro $ micro_only $ trace_overhead)
+    Term.(const run $ quick $ only $ no_micro $ micro_only $ trace_overhead $ engine_scaling)
 
 let () = exit (Cmd.eval cmd)

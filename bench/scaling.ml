@@ -1,0 +1,97 @@
+(* Engine scaling: throughput of the Domain-parallel trial runner.
+
+   Runs the same seeded bucket-protocol trial grid at 1, 2 and 4 worker
+   domains, reports trials/sec and speedup over the single-domain run,
+   and writes BENCH_engine_scaling.json.  Also asserts along the way
+   that the merged results are identical at every domain count — the
+   engine's determinism contract, measured rather than assumed.
+
+   The JSON records [cores] (Domain.recommended_domain_count) because
+   speedup is bounded by the cores actually available: on a single-core
+   host every domain count measures the same sequential throughput plus
+   scheduling overhead. *)
+
+open Intersect
+
+let seed = 2014
+let k = 64
+let universe_bits = 20
+let trials = 600
+
+let trial_grid ~domains =
+  let universe = 1 lsl universe_bits in
+  let protocol = Bucket_protocol.protocol ~k () in
+  let stream = Engine.Seed_stream.create ~base:seed ~label:"bench/scaling" in
+  Engine.Pool.map ~domains ~trials (fun i ->
+      let rng = Engine.Seed_stream.trial_rng stream (i + 1) in
+      let pair =
+        Workload.Setgen.pair_with_overlap
+          (Prng.Rng.with_label rng "pair")
+          ~universe ~size_s:k ~size_t:k ~overlap:(k / 2)
+      in
+      let outcome =
+        protocol.Protocol.run
+          (Prng.Rng.with_label rng "protocol")
+          ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+      in
+      (outcome.Protocol.cost.Commsim.Cost.total_bits, Iset.cardinal outcome.Protocol.alice))
+
+let time_grid ~domains =
+  ignore (trial_grid ~domains);
+  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  let results = trial_grid ~domains in
+  let t1 = Unix.gettimeofday () in
+  (results, float_of_int trials /. (t1 -. t0))
+
+let run ?(out = "BENCH_engine_scaling.json") () =
+  let cores = Domain.recommended_domain_count () in
+  let counts = [ 1; 2; 4 ] in
+  let measured = List.map (fun d -> (d, time_grid ~domains:d)) counts in
+  let baseline_results, baseline_rate =
+    match measured with (_, m) :: _ -> m | [] -> assert false
+  in
+  List.iter
+    (fun (d, (results, _)) ->
+      if results <> baseline_results then
+        failwith (Printf.sprintf "engine scaling: results differ at %d domains" d))
+    measured;
+  let table =
+    Stats.Table.create ~title:"Engine scaling (bucket, k=64, 600 trials)"
+      ~columns:[ "domains"; "trials/sec"; "speedup" ]
+  in
+  List.iter
+    (fun (d, (_, rate)) ->
+      Stats.Table.add_row table
+        [ string_of_int d; Printf.sprintf "%.0f" rate; Printf.sprintf "%.2fx" (rate /. baseline_rate) ])
+    measured;
+  Stats.Table.print table;
+  Printf.printf "cores available: %d; merged results identical at every domain count\n" cores;
+  let json =
+    Stats.Json.Obj
+      [
+        ("bench", Stats.Json.Str "engine_scaling");
+        ("protocol", Stats.Json.Str "bucket");
+        ("seed", Stats.Json.Int seed);
+        ("k", Stats.Json.Int k);
+        ("universe_bits", Stats.Json.Int universe_bits);
+        ("trials", Stats.Json.Int trials);
+        ("cores", Stats.Json.Int cores);
+        ("deterministic_across_domains", Stats.Json.Bool true);
+        ( "cases",
+          Stats.Json.List
+            (List.map
+               (fun (d, (_, rate)) ->
+                 Stats.Json.Obj
+                   [
+                     ("domains", Stats.Json.Int d);
+                     ("trials_per_sec", Stats.Json.Float rate);
+                     ("speedup", Stats.Json.Float (rate /. baseline_rate));
+                   ])
+               measured) );
+      ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Stats.Json.to_string_pretty json);
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s\n" out

@@ -12,7 +12,7 @@
 
 open Cmdliner
 
-let run smoke seed trials k universe_bits overlap attempts check_bits out json_only =
+let run smoke seed trials k universe_bits overlap attempts check_bits out json_only domains =
   let base = if smoke then Workload.Soak.smoke else Workload.Soak.default in
   let override v = function Some v' -> v' | None -> v in
   let config =
@@ -37,7 +37,7 @@ let run smoke seed trials k universe_bits overlap attempts check_bits out json_o
       config.Workload.Soak.seed config.Workload.Soak.trials config.Workload.Soak.k
       config.Workload.Soak.overlap
   in
-  let report = Workload.Soak.run config in
+  let report = Workload.Soak.run ?domains config in
   if not json_only then print_string (Workload.Soak.summary report);
   let json = Stats.Json.to_string_pretty (Workload.Soak.to_json ~reproduce report) in
   (match out with
@@ -63,10 +63,14 @@ let cmd =
   let check_bits = some_int [ "check-bits" ] "C" "Initial fingerprint width." in
   let out = Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.") in
   let json_only = Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON report.") in
+  let domains =
+    some_int [ "domains" ]
+      "D" "Engine worker domains (default: one per core; the report is identical for any value)."
+  in
   Cmd.v
     (Cmd.info "soak" ~doc:"Soak intersection protocols against adversarial channels.")
     Term.(
       const run $ smoke $ seed $ trials $ k $ universe_bits $ overlap $ attempts $ check_bits $ out
-      $ json_only)
+      $ json_only $ domains)
 
 let () = exit (Cmd.eval' cmd)

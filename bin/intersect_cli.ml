@@ -242,13 +242,22 @@ let obsv_protocol_names =
   "trivial, full-exchange, one-round, basic, bucket, tree, tree-log-star, verified-tree, \
    resilient, star, tournament"
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~docv:"D"
+        ~doc:
+          "Engine worker domains (default: one per core).  Results are byte-identical for any \
+           value; only wall-clock changes.")
+
 (* Run one seeded workload under a fresh collector + metrics registry.
    Returns the collected events alongside the exact execution cost. *)
-let collect_run ~name ~r ~k ~universe_bits ~overlap ~players ~seed =
+let collect_with ~name ~r ~k ~universe_bits ~overlap ~players ~rng =
   let universe = 1 lsl universe_bits in
   let collector = Obsv.Trace.create () in
   let registry = Obsv.Metrics.create () in
-  let rng = Prng.Rng.with_label (Prng.Rng.of_int seed) "cli-obsv" in
   let two_party_pair () =
     Workload.Setgen.pair_with_overlap
       (Prng.Rng.with_label rng "workload")
@@ -292,6 +301,10 @@ let collect_run ~name ~r ~k ~universe_bits ~overlap ~players ~seed =
   match Obsv.Trace.with_collector collector (fun () -> Obsv.Metrics.with_registry registry run) with
   | Error e -> Error e
   | Ok (cost, size) -> Ok (collector, registry, cost, size)
+
+let collect_run ~name ~r ~k ~universe_bits ~overlap ~players ~seed =
+  collect_with ~name ~r ~k ~universe_bits ~overlap ~players
+    ~rng:(Prng.Rng.with_label (Prng.Rng.of_int seed) "cli-obsv")
 
 let obsv_protocol_arg =
   Arg.(
@@ -340,62 +353,101 @@ let profile_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the breakdown as JSON instead of tables.")
   in
-  let run name r k universe_bits overlap players seed json =
-    match collect_run ~name ~r ~k ~universe_bits ~overlap ~players ~seed with
-    | Error (`Msg m) ->
-        prerr_endline m;
-        1
-    | Ok (collector, registry, cost, size) ->
-        let phase_bits = Obsv.Export.total_phase_bits collector in
-        let exact = phase_bits = cost.Commsim.Cost.total_bits in
-        if json then
-          print_endline
-            (Stats.Json.to_string_pretty
-               (Stats.Json.Obj
-                  [
-                    ("protocol", Stats.Json.Str name);
-                    ("k", Stats.Json.Int k);
-                    ("seed", Stats.Json.Int seed);
-                    ("total_bits", Stats.Json.Int cost.Commsim.Cost.total_bits);
-                    ("messages", Stats.Json.Int cost.Commsim.Cost.messages);
-                    ("rounds", Stats.Json.Int cost.Commsim.Cost.rounds);
-                    ("result_size", Stats.Json.Int size);
-                    ("phase_bits", Stats.Json.Int phase_bits);
-                    ("phase_bits_exact", Stats.Json.Bool exact);
-                    ("phases", Obsv.Export.phases_json collector);
-                    ("metrics", Obsv.Metrics.to_json registry);
-                  ]))
-        else begin
-          Printf.printf "profile: protocol=%s k=%d universe=2^%d seed=%d\n" name k universe_bits
-            seed;
-          Format.printf "%a; |result| = %d@." Commsim.Cost.pp_breakdown cost size;
-          print_newline ();
-          Stats.Table.print (Obsv.Export.phase_table collector);
-          print_newline ();
-          let per_player =
-            Stats.Table.create ~title:"per-player" ~columns:Commsim.Cost.breakdown_columns
+  let profile_trials_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Seeded executions to aggregate (engine seed stream; per-trial costs, phase ledgers \
+             and metrics registries are merged in trial order).")
+  in
+  let run name r k universe_bits overlap players seed json trials domains =
+    if trials < 1 then begin
+      prerr_endline "profile: --trials must be >= 1";
+      2
+    end
+    else begin
+      let stream = Engine.Seed_stream.create ~base:seed ~label:"cli-obsv" in
+      let results =
+        Engine.Pool.map ?domains ~trials (fun i ->
+            collect_with ~name ~r ~k ~universe_bits ~overlap ~players
+              ~rng:(Engine.Seed_stream.trial_rng stream (i + 1)))
+      in
+      match Array.to_list results with
+      | Error (`Msg m) :: _ ->
+          prerr_endline m;
+          1
+      | trial_results -> begin
+          let oks =
+            List.filter_map (function Ok r -> Some r | Error _ -> None) trial_results
           in
-          List.iter (Stats.Table.add_row per_player) (Commsim.Cost.breakdown_rows cost);
-          Stats.Table.print per_player;
-          print_newline ();
-          print_endline "metrics:";
-          print_endline (Stats.Json.to_string_pretty (Obsv.Metrics.to_json registry));
-          Printf.printf "phase bits %d %s Cost.total_bits %d\n" phase_bits
-            (if exact then "=" else "<>")
-            cost.Commsim.Cost.total_bits
-        end;
-        if exact then 0 else 1
+          let costs = List.map (fun (_, _, cost, _) -> cost) oks in
+          let cost =
+            Engine.Merge.costs
+              ~players:(Array.length (List.hd costs).Commsim.Cost.players)
+              costs
+          in
+          let registry = Engine.Merge.metrics (List.map (fun (_, reg, _, _) -> reg) oks) in
+          let phases =
+            Obsv.Export.merge_phases
+              (List.map (fun (collector, _, _, _) -> Obsv.Export.phases collector) oks)
+          in
+          let size = match oks with (_, _, _, s) :: _ -> s | [] -> 0 in
+          let phase_bits =
+            List.fold_left (fun acc p -> acc + p.Obsv.Export.bits) 0 phases
+          in
+          let exact = phase_bits = cost.Commsim.Cost.total_bits in
+          if json then
+            print_endline
+              (Stats.Json.to_string_pretty
+                 (Stats.Json.Obj
+                    [
+                      ("protocol", Stats.Json.Str name);
+                      ("k", Stats.Json.Int k);
+                      ("seed", Stats.Json.Int seed);
+                      ("trials", Stats.Json.Int trials);
+                      ("total_bits", Stats.Json.Int cost.Commsim.Cost.total_bits);
+                      ("messages", Stats.Json.Int cost.Commsim.Cost.messages);
+                      ("rounds", Stats.Json.Int cost.Commsim.Cost.rounds);
+                      ("result_size", Stats.Json.Int size);
+                      ("phase_bits", Stats.Json.Int phase_bits);
+                      ("phase_bits_exact", Stats.Json.Bool exact);
+                      ("phases", Obsv.Export.phases_json_of phases);
+                      ("metrics", Obsv.Metrics.to_json registry);
+                    ]))
+          else begin
+            Printf.printf "profile: protocol=%s k=%d universe=2^%d seed=%d trials=%d\n" name k
+              universe_bits seed trials;
+            Format.printf "%a; |result| = %d@." Commsim.Cost.pp_breakdown cost size;
+            print_newline ();
+            Stats.Table.print (Obsv.Export.phase_table_of phases);
+            print_newline ();
+            let per_player =
+              Stats.Table.create ~title:"per-player" ~columns:Commsim.Cost.breakdown_columns
+            in
+            List.iter (Stats.Table.add_row per_player) (Commsim.Cost.breakdown_rows cost);
+            Stats.Table.print per_player;
+            print_newline ();
+            print_endline "metrics:";
+            print_endline (Stats.Json.to_string_pretty (Obsv.Metrics.to_json registry));
+            Printf.printf "phase bits %d %s Cost.total_bits %d\n" phase_bits
+              (if exact then "=" else "<>")
+              cost.Commsim.Cost.total_bits
+          end;
+          if exact then 0 else 1
+        end
+    end
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
-         "Run one seeded execution of a named protocol and print its per-phase budget breakdown \
-          (bits attributed to the sender's innermost span), the per-player cost table, and the \
-          metrics registry.  Exits non-zero if the per-phase bits fail to sum to the exact \
-          Cost.total_bits.")
+         "Run seeded executions of a named protocol on the trial engine and print the merged \
+          per-phase budget breakdown (bits attributed to the sender's innermost span), the \
+          per-player cost table, and the merged metrics registry.  Exits non-zero if the \
+          per-phase bits fail to sum to the exact Cost.total_bits.")
     Term.(
       const run $ obsv_protocol_arg $ obsv_r_arg $ obsv_k_arg $ universe_bits_arg $ overlap_arg
-      $ obsv_players_arg $ seed_arg $ json_arg)
+      $ obsv_players_arg $ seed_arg $ json_arg $ profile_trials_arg $ domains_arg)
 
 let soak_cmd =
   let smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale configuration.") in
@@ -403,7 +455,7 @@ let soak_cmd =
   let soak_trials_arg =
     Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc:"Trials per (protocol x plan) cell.")
   in
-  let run smoke json trials seed k universe_bits overlap =
+  let run smoke json trials seed k universe_bits overlap domains =
     let base = if smoke then Workload.Soak.smoke else Workload.Soak.default in
     let config =
       {
@@ -415,7 +467,7 @@ let soak_cmd =
         overlap = Option.value overlap ~default:(k / 2);
       }
     in
-    let report = Workload.Soak.run config in
+    let report = Workload.Soak.run ?domains config in
     if json then print_endline (Stats.Json.to_string_pretty (Workload.Soak.to_json report))
     else print_string (Workload.Soak.summary report);
     if List.for_all (fun c -> c.Workload.Soak.within_bound) report.Workload.Soak.cells then 0 else 1
@@ -430,11 +482,83 @@ let soak_cmd =
       $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
       $ Arg.(value & opt int 16 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
       $ Arg.(value & opt int 20 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
-      $ overlap_arg)
+      $ overlap_arg $ domains_arg)
+
+let conform_cmd =
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale configuration (k = 16, 25 trials).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report instead of the table.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "trials" ] ~docv:"N" ~doc:"Trials per (protocol x k) cell.")
+  in
+  let ks_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "k"; "set-size" ] ~docv:"K,K,..." ~doc:"Set-size sweep (comma-separated).")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "protocols" ] ~docv:"P,P,..."
+          ~doc:
+            ("Statements to check, comma-separated (default: all of "
+            ^ String.concat ", " Workload.Conform.entry_names
+            ^ ")."))
+  in
+  let run smoke json trials seed ks protocols domains =
+    let base = if smoke then Workload.Conform.smoke else Workload.Conform.default in
+    let config =
+      {
+        base with
+        Workload.Conform.seed;
+        trials = Option.value trials ~default:base.Workload.Conform.trials;
+        ks = Option.value ks ~default:base.Workload.Conform.ks;
+        protocols = Option.value protocols ~default:base.Workload.Conform.protocols;
+      }
+    in
+    match Workload.Conform.run ?domains config with
+    | exception Invalid_argument m ->
+        prerr_endline ("conform: " ^ m);
+        2
+    | report ->
+        if json then
+          print_endline
+            (Stats.Json.to_string_pretty
+               (Workload.Conform.to_json ~reproduce:"intersect_cli conform" report))
+        else print_string (Workload.Conform.summary report);
+        if report.Workload.Conform.pass then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Theorem-conformance tier: run seeded trial sweeps on the engine and assert every \
+          protocol stays inside its paper envelope (rounds budget per trial, constant-factor \
+          bits envelope on the mean, Wilson-bounded error rate).  Exits non-zero on any \
+          envelope violation.")
+    Term.(
+      const run $ smoke_arg $ json_arg $ trials_arg
+      $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+      $ ks_arg $ protocols_arg $ domains_arg)
 
 let () =
   let doc = "Set-intersection communication protocols (PODC'14 reproduction)." in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "intersect_cli" ~doc)
-          [ two_cmd; multi_cmd; disj_cmd; similarity_cmd; soak_cmd; trace_cmd; profile_cmd ]))
+          [
+            two_cmd;
+            multi_cmd;
+            disj_cmd;
+            similarity_cmd;
+            soak_cmd;
+            conform_cmd;
+            trace_cmd;
+            profile_cmd;
+          ]))

@@ -1,0 +1,9 @@
+let cost = Commsim.Cost.add_seq
+let costs ~players l = List.fold_left cost (Commsim.Cost.zero ~players) l
+
+let metrics registries =
+  let into = Obsv.Metrics.create () in
+  List.iter (fun r -> Obsv.Metrics.merge_into ~into r) registries;
+  into
+
+let summaries accs = List.fold_left Stats.Summary.Acc.merge Stats.Summary.Acc.empty accs

@@ -1,0 +1,47 @@
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Chunk size: small enough that uneven trial times balance across workers
+   (~8 chunks per worker), large enough that the atomic cursor stays cold.
+   Results land in per-index slots, so chunk geometry never affects
+   output — only wall-clock. *)
+let chunk_size ~trials ~workers = max 1 (trials / (workers * 8))
+
+let map_parallel ~workers ~trials f =
+  let results = Array.make trials None in
+  let cursor = Atomic.make 0 in
+  let chunk = chunk_size ~trials ~workers in
+  let worker () =
+    let rec loop () =
+      let start = Atomic.fetch_and_add cursor chunk in
+      if start < trials then begin
+        let stop = min trials (start + chunk) in
+        for i = start to stop - 1 do
+          results.(i) <- Some (f i)
+        done;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  (* The calling domain is worker zero; join before re-raising so no domain
+     outlives the call even when a trial throws. *)
+  let mine = try Ok (worker ()) with e -> Error e in
+  let joins = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
+  (match mine with Error e -> raise e | Ok () -> ());
+  Array.iter (function Error e -> raise e | Ok () -> ()) joins;
+  Array.map
+    (function Some v -> v | None -> failwith "Engine.Pool.map: unfilled slot")
+    results
+
+let map ?domains ~trials f =
+  if trials < 0 then invalid_arg "Engine.Pool.map: trials < 0";
+  let domains =
+    match domains with
+    | None -> default_domains ()
+    | Some d -> if d < 1 then invalid_arg "Engine.Pool.map: domains < 1" else d
+  in
+  let workers = min domains (max 1 trials) in
+  if workers = 1 then Array.init trials f else map_parallel ~workers ~trials f
+
+let run ?domains ~trials f ~init ~merge = Array.fold_left merge init (map ?domains ~trials f)

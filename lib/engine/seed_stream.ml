@@ -1,0 +1,10 @@
+type t = { base : int; label : string }
+
+let create ~base ~label = { base; label }
+let base t = t.base
+let label t = t.label
+let trial_label t i = Printf.sprintf "%s/trial%d" t.label i
+
+(* [Rng.with_label] derives from the root seed and the label alone via one
+   Splitmix64 mix, so this is a pure function of [(base, label, i)]. *)
+let trial_rng t i = Prng.Rng.with_label (Prng.Rng.of_int t.base) (trial_label t i)

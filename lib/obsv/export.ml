@@ -195,9 +195,34 @@ let phases c =
 
 let total_phase_bits c = List.fold_left (fun acc p -> acc + p.bits) 0 (phases c)
 
-let phase_table ?(title = "per-phase communication") c =
-  let rows = phases c in
+(* Merge per-execution ledgers (e.g. one per engine trial) into one: rows
+   with the same phase name add their bits and messages and keep the
+   deepest depth; row order is first appearance across the lists in the
+   order given, so a deterministic trial order yields a deterministic
+   merged ledger. *)
+let merge_phases ledgers =
+  let order = ref [] in
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun p ->
+         match Hashtbl.find_opt acc p.phase with
+         | Some row ->
+             row :=
+               {
+                 !row with
+                 bits = !row.bits + p.bits;
+                 messages = !row.messages + p.messages;
+                 max_depth = max !row.max_depth p.max_depth;
+               }
+         | None ->
+             Hashtbl.replace acc p.phase (ref p);
+             order := p.phase :: !order))
+    ledgers;
+  List.rev_map (fun name -> !(Hashtbl.find acc name)) !order
+
+let phase_table_of ?(title = "per-phase communication") rows =
   let total = List.fold_left (fun acc p -> acc + p.bits) 0 rows in
+  let total_messages = List.fold_left (fun acc p -> acc + p.messages) 0 rows in
   let table =
     Table.create ~title ~columns:[ "phase"; "bits"; "msgs"; "max depth"; "share" ]
   in
@@ -213,10 +238,12 @@ let phase_table ?(title = "per-phase communication") c =
            else Printf.sprintf "%5.1f%%" (100.0 *. float_of_int p.bits /. float_of_int total));
         ])
     rows;
-  Table.add_row table [ "total"; Table.cell_int total; Table.cell_int (List.length (Trace.messages c)); "-"; "100.0%" ];
+  Table.add_row table [ "total"; Table.cell_int total; Table.cell_int total_messages; "-"; "100.0%" ];
   table
 
-let phases_json c =
+let phase_table ?title c = phase_table_of ?title (phases c)
+
+let phases_json_of rows =
   Json.List
     (List.map
        (fun p ->
@@ -227,4 +254,6 @@ let phases_json c =
              ("messages", Json.Int p.messages);
              ("max_depth", Json.Int p.max_depth);
            ])
-       (phases c))
+       rows)
+
+let phases_json c = phases_json_of (phases c)

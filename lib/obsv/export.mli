@@ -34,8 +34,22 @@ val phases : Trace.collector -> phase list
     the collector saw. *)
 val total_phase_bits : Trace.collector -> int
 
+(** [merge_phases ledgers] combines per-execution ledgers (e.g. one per
+    engine trial) into one: rows with the same phase name add bits and
+    messages and keep the deepest depth; row order is first appearance
+    across [ledgers] in the order given.  Merged bits still sum to the sum
+    of the inputs' bits, so the profile exactness check survives
+    aggregation. *)
+val merge_phases : phase list list -> phase list
+
 (** The ledger as a rendered {!Stats.Table} with a share column and a total
     row. *)
 val phase_table : ?title:string -> Trace.collector -> Stats.Table.t
 
+(** {!phase_table} over an explicit (possibly merged) ledger. *)
+val phase_table_of : ?title:string -> phase list -> Stats.Table.t
+
 val phases_json : Trace.collector -> Stats.Json.t
+
+(** {!phases_json} over an explicit (possibly merged) ledger. *)
+val phases_json_of : phase list -> Stats.Json.t

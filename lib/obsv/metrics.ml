@@ -29,13 +29,17 @@ let disabled = make ~enabled:false
 let create () = make ~enabled:true
 let enabled r = r.enabled
 
-let ambient_registry = ref disabled
-let current () = !ambient_registry
+(* Domain-local, so a parallel trial engine can give every domain (or every
+   trial) its own registry without racing: a freshly spawned domain starts
+   at [disabled]. *)
+let ambient_registry = Domain.DLS.new_key (fun () -> disabled)
+
+let current () = Domain.DLS.get ambient_registry
 
 let with_registry r f =
-  let prev = !ambient_registry in
-  ambient_registry := r;
-  Fun.protect ~finally:(fun () -> ambient_registry := prev) f
+  let prev = Domain.DLS.get ambient_registry in
+  Domain.DLS.set ambient_registry r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_registry prev) f
 
 let find tbl name create_v =
   match Hashtbl.find_opt tbl name with
@@ -46,13 +50,13 @@ let find tbl name create_v =
       v
 
 let incr ?(by = 1) name =
-  let r = !ambient_registry in
+  let r = Domain.DLS.get ambient_registry in
   if r.enabled then
     let c = find r.counters name (fun () -> ref 0) in
     c := !c + by
 
 let set_gauge name v =
-  let r = !ambient_registry in
+  let r = Domain.DLS.get ambient_registry in
   if r.enabled then
     let g = find r.gauges name (fun () -> ref 0) in
     g := v
@@ -64,7 +68,7 @@ let bucket_of v =
     min (bucket_count - 1) (bits 0 v)
 
 let observe name v =
-  let r = !ambient_registry in
+  let r = Domain.DLS.get ambient_registry in
   if r.enabled then begin
     let h =
       find r.histograms name (fun () ->
@@ -77,6 +81,37 @@ let observe name v =
     let b = bucket_of v in
     h.buckets.(b) <- h.buckets.(b) + 1
   end
+
+(* Order-free merge: counters and histograms add, gauges keep the maximum.
+   "Latest value" is meaningless across independent parallel trials, so the
+   gauge rule is chosen to be commutative; with addition everywhere else the
+   merge is associative and commutative, which is what lets a trial engine
+   combine per-worker registries in any grouping and still produce one
+   deterministic registry. *)
+let merge_into ~into src =
+  if not into.enabled then invalid_arg "Metrics.merge_into: destination disabled";
+  Hashtbl.iter
+    (fun name c ->
+      let dst = find into.counters name (fun () -> ref 0) in
+      dst := !dst + !c)
+    src.counters;
+  Hashtbl.iter
+    (fun name g ->
+      let dst = find into.gauges name (fun () -> ref min_int) in
+      dst := max !dst !g)
+    src.gauges;
+  Hashtbl.iter
+    (fun name (h : histogram) ->
+      let dst =
+        find into.histograms name (fun () ->
+            { count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = Array.make bucket_count 0 })
+      in
+      dst.count <- dst.count + h.count;
+      dst.sum <- dst.sum + h.sum;
+      if h.min_v < dst.min_v then dst.min_v <- h.min_v;
+      if h.max_v > dst.max_v then dst.max_v <- h.max_v;
+      Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets)
+    src.histograms
 
 let counter_value r name =
   match Hashtbl.find_opt r.counters name with Some c -> !c | None -> 0

@@ -32,6 +32,14 @@ val set_gauge : string -> int -> unit
     compact, deterministic shape. *)
 val observe : string -> int -> unit
 
+(** [merge_into ~into src] folds [src] into [into]: counters add, histograms
+    add pointwise (count, sum, buckets; min/max combine), and gauges keep the
+    {e maximum} — "latest" is meaningless across independent parallel trials,
+    and max is order-free.  The merge is associative and commutative, so a
+    trial engine may combine per-worker registries in any grouping and reach
+    the same final registry.  [src] is unchanged; [into] must be enabled. *)
+val merge_into : into:registry -> registry -> unit
+
 (** Readbacks for tests and reports (0 / [None] when never recorded). *)
 val counter_value : registry -> string -> int
 

@@ -50,13 +50,16 @@ let disabled = make ~enabled:false
 let create () = make ~enabled:true
 let enabled c = c.enabled
 
-let ambient_collector = ref disabled
-let current () = !ambient_collector
+(* Domain-local, so trial engines can run one collector per domain without
+   racing: a freshly spawned domain starts at [disabled]. *)
+let ambient_collector = Domain.DLS.new_key (fun () -> disabled)
+
+let current () = Domain.DLS.get ambient_collector
 
 let with_collector c f =
-  let prev = !ambient_collector in
-  ambient_collector := c;
-  Fun.protect ~finally:(fun () -> ambient_collector := prev) f
+  let prev = Domain.DLS.get ambient_collector in
+  Domain.DLS.set ambient_collector c;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_collector prev) f
 
 let next_seq c =
   let s = c.next_seq in
@@ -75,7 +78,7 @@ let innermost c ~rank =
 let set_rank c rank = if c.enabled then c.current_rank <- rank
 
 let span ?(attrs = []) name f =
-  let c = !ambient_collector in
+  let c = Domain.DLS.get ambient_collector in
   if not c.enabled then f ()
   else begin
     let rank = c.current_rank in

@@ -89,13 +89,18 @@ let base_of_name config name =
       invalid_arg
         ("Soak: unknown protocol " ^ name ^ " (known: " ^ String.concat ", " protocol_names ^ ")")
 
+(* The engine seed stream of one (protocol x plan) cell.  The label format
+   predates the engine; keeping it means any soak JSON ever published
+   reproduces bit for bit through the new derivation. *)
+let cell_stream (config : config) ~proto_name ~plan_name =
+  Engine.Seed_stream.create ~base:config.seed
+    ~label:(Printf.sprintf "soak/%s/%s" proto_name plan_name)
+
 (* One seeded trial: inputs, per-trial fault plan and the wrapper run are
-   all derived from the config seed and the cell coordinates alone. *)
-let trial (config : config) base ~proto_name ~plan_name ~link i =
-  let rng =
-    Prng.Rng.with_label (Prng.Rng.of_int config.seed)
-      (Printf.sprintf "soak/%s/%s/trial%d" proto_name plan_name i)
-  in
+   all derived from the stream (config seed + cell coordinates) and the
+   trial index alone, so trials can run on any domain in any order. *)
+let trial (config : config) base ~stream ~link i =
+  let rng = Engine.Seed_stream.trial_rng stream i in
   let universe = 1 lsl config.universe_bits in
   let pair =
     Setgen.pair_with_overlap
@@ -123,20 +128,21 @@ let mean_bits_of reports =
 
 (* Fault-free cost of the wrapper on this protocol — the denominator of the
    per-cell overhead column.  A few dozen trials pin the mean well enough. *)
-let baseline (config : config) base ~proto_name =
+let baseline ?domains (config : config) base ~proto_name =
   let n = min config.trials 64 in
+  let stream = cell_stream config ~proto_name ~plan_name:"baseline" in
   let reports =
-    List.init n (fun i ->
-        fst
-          (trial config base ~proto_name ~plan_name:"baseline" ~link:Commsim.Faults.clean_link
-             (i + 1)))
+    Engine.Pool.map ?domains ~trials:n (fun i ->
+        fst (trial config base ~stream ~link:Commsim.Faults.clean_link (i + 1)))
   in
-  mean_bits_of reports
+  mean_bits_of (Array.to_list reports)
 
-let run_cell (config : config) base ~proto_name ~plan_name ~link ~baseline_bits =
+let run_cell ?domains (config : config) base ~proto_name ~plan_name ~link ~baseline_bits =
+  let stream = cell_stream config ~proto_name ~plan_name in
   let outcomes =
-    List.init config.trials (fun i ->
-        trial config base ~proto_name ~plan_name ~link (i + 1))
+    Array.to_list
+      (Engine.Pool.map ?domains ~trials:config.trials (fun i ->
+           trial config base ~stream ~link (i + 1)))
   in
   let reports = List.map fst outcomes in
   let exact = List.length (List.filter snd outcomes) in
@@ -185,16 +191,17 @@ let run_cell (config : config) base ~proto_name ~plan_name ~link ~baseline_bits 
     dropped = tally.Commsim.Faults.dropped_messages;
   }
 
-let run (config : config) =
+let run ?domains (config : config) =
   if config.trials < 1 then invalid_arg "Soak.run: trials";
   if config.overlap > config.k then invalid_arg "Soak.run: overlap > k";
   let cells =
     List.concat_map
       (fun proto_name ->
         let base = base_of_name config proto_name in
-        let baseline_bits = baseline config base ~proto_name in
+        let baseline_bits = baseline ?domains config base ~proto_name in
         List.map
-          (fun (plan_name, link) -> run_cell config base ~proto_name ~plan_name ~link ~baseline_bits)
+          (fun (plan_name, link) ->
+            run_cell ?domains config base ~proto_name ~plan_name ~link ~baseline_bits)
           config.plans)
       config.protocols
   in

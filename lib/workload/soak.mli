@@ -65,7 +65,13 @@ type cell = {
 
 type report = { config : config; cells : cell list }
 
-val run : config -> report
+(** [run ?domains config] runs the matrix on the {!Engine.Pool} trial
+    runner; [domains] defaults to the machine's recommended domain count.
+    Per-trial randomness is an {!Engine.Seed_stream} of the config seed and
+    the cell coordinates, so the report — and its JSON — is byte-identical
+    for {e every} domain count, including the sequential [~domains:1]
+    which reproduces the historical single-core harness exactly. *)
+val run : ?domains:int -> config -> report
 
 (** [to_json ?reproduce report] renders the full report; [reproduce] is the
     exact command line that regenerates it. *)

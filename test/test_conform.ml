@@ -1,0 +1,121 @@
+(* The theorem-conformance tier as an Alcotest suite: seeded sweeps
+   asserting the paper's round budgets and envelopes directly, plus the
+   report plumbing (pass flag, JSON shape, unknown-protocol errors). *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run ~protocols ~ks ~trials =
+  Workload.Conform.run
+    { Workload.Conform.default with protocols; ks; trials; seed = 2014 }
+
+let cell_for report ~protocol ~k =
+  List.find
+    (fun c -> c.Workload.Conform.protocol = protocol && c.Workload.Conform.k = k)
+    report.Workload.Conform.cells
+
+let ks = [ 16; 64; 256 ]
+
+(* Lemma 3.3: Basic-Intersection is a 4-round protocol. *)
+let test_lemma_3_3_rounds () =
+  let report = run ~protocols:[ "basic" ] ~ks ~trials:30 in
+  check_bool "pass" true report.Workload.Conform.pass;
+  List.iter
+    (fun k ->
+      let cell = cell_for report ~protocol:"basic" ~k in
+      check (Printf.sprintf "k=%d rounds" k) 4 cell.Workload.Conform.rounds_max;
+      check (Printf.sprintf "k=%d budget" k) 4 cell.Workload.Conform.rounds_limit)
+    ks
+
+(* Fact 3.5: randomized equality is one message + one confirmation. *)
+let test_fact_3_5_rounds () =
+  let report = run ~protocols:[ "eq" ] ~ks ~trials:30 in
+  check_bool "pass" true report.Workload.Conform.pass;
+  List.iter
+    (fun k ->
+      let cell = cell_for report ~protocol:"eq" ~k in
+      check (Printf.sprintf "k=%d rounds" k) 2 cell.Workload.Conform.rounds_max)
+    ks
+
+(* Theorem 3.1: the bucket protocol stays within c·√k rounds. *)
+let test_bucket_rounds_sqrt_k () =
+  let report = run ~protocols:[ "bucket" ] ~ks ~trials:30 in
+  check_bool "pass" true report.Workload.Conform.pass;
+  List.iter
+    (fun k ->
+      let cell = cell_for report ~protocol:"bucket" ~k in
+      let isqrt = int_of_float (ceil (sqrt (float_of_int k))) in
+      check_bool
+        (Printf.sprintf "k=%d rounds %d <= 20*sqrt(k)" k cell.Workload.Conform.rounds_max)
+        true
+        (cell.Workload.Conform.rounds_max <= 20 * isqrt))
+    ks
+
+(* Theorem 3.6: the r-stage tree protocol uses at most 6r rounds. *)
+let test_tree_rounds_6r () =
+  List.iter
+    (fun (name, r) ->
+      let report = run ~protocols:[ name ] ~ks ~trials:30 in
+      check_bool (name ^ " pass") true report.Workload.Conform.pass;
+      List.iter
+        (fun k ->
+          let cell = cell_for report ~protocol:name ~k in
+          check_bool
+            (Printf.sprintf "%s k=%d rounds %d <= %d" name k cell.Workload.Conform.rounds_max
+               (6 * r))
+            true
+            (cell.Workload.Conform.rounds_max <= 6 * r))
+        ks)
+    [ ("tree-r2", 2); ("tree-r3", 3) ]
+
+(* The full default matrix passes and is domain-count independent. *)
+let test_full_matrix_passes () =
+  let config = { Workload.Conform.smoke with trials = 15 } in
+  let r1 = Workload.Conform.run ~domains:1 config in
+  let r3 = Workload.Conform.run ~domains:3 config in
+  check_bool "pass" true r1.Workload.Conform.pass;
+  Alcotest.(check string)
+    "domain-independent"
+    (Stats.Json.to_string (Workload.Conform.to_json r1))
+    (Stats.Json.to_string (Workload.Conform.to_json r3))
+
+let test_unknown_protocol_rejected () =
+  check_bool "raises" true
+    (try
+       ignore (run ~protocols:[ "nope" ] ~ks:[ 16 ] ~trials:5);
+       false
+     with Invalid_argument _ -> true)
+
+(* A violated envelope must fail the report: rerun a passing cell's
+   numbers against an impossible budget by checking the cell fields
+   directly — rounds_ok must compare against rounds_limit. *)
+let test_envelope_fields_consistent () =
+  let report = run ~protocols:Workload.Conform.entry_names ~ks:[ 16 ] ~trials:10 in
+  List.iter
+    (fun (c : Workload.Conform.cell) ->
+      check_bool (c.Workload.Conform.protocol ^ " rounds_ok")
+        (c.Workload.Conform.rounds_max <= c.Workload.Conform.rounds_limit)
+        c.Workload.Conform.rounds_ok;
+      check_bool (c.Workload.Conform.protocol ^ " pass is conjunction")
+        (c.Workload.Conform.rounds_ok && c.Workload.Conform.bits_ok
+       && c.Workload.Conform.error_ok)
+        c.Workload.Conform.pass)
+    report.Workload.Conform.cells
+
+let () =
+  Alcotest.run "conform"
+    [
+      ( "rounds",
+        [
+          Alcotest.test_case "Lemma 3.3: basic = 4 rounds" `Quick test_lemma_3_3_rounds;
+          Alcotest.test_case "Fact 3.5: equality = 2 rounds" `Quick test_fact_3_5_rounds;
+          Alcotest.test_case "Theorem 3.1: bucket <= c*sqrt(k)" `Quick test_bucket_rounds_sqrt_k;
+          Alcotest.test_case "Theorem 3.6: tree <= 6r" `Quick test_tree_rounds_6r;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "matrix passes, domain-independent" `Quick test_full_matrix_passes;
+          Alcotest.test_case "unknown protocol rejected" `Quick test_unknown_protocol_rejected;
+          Alcotest.test_case "envelope fields consistent" `Quick test_envelope_fields_consistent;
+        ] );
+    ]

@@ -108,6 +108,57 @@ let golden_cost protocol ~universe ~k ~overlap ~seed =
   in
   (outcome.Protocol.cost.Commsim.Cost.total_bits, outcome.Protocol.cost.Commsim.Cost.rounds)
 
+(* The engine's schedule-independence contract, end to end: the soak and
+   conformance reports (whole JSON documents, numbers and ordering both)
+   must not depend on how many domains ran the trials. *)
+let test_soak_domain_independent () =
+  let config = { Workload.Soak.smoke with Workload.Soak.trials = 8 } in
+  let json domains =
+    Stats.Json.to_string_pretty (Workload.Soak.to_json (Workload.Soak.run ~domains config))
+  in
+  let d1 = json 1 in
+  Alcotest.(check string) "2 domains" d1 (json 2);
+  Alcotest.(check string) "4 domains" d1 (json 4)
+
+let test_conform_domain_independent () =
+  let config = { Workload.Conform.smoke with Workload.Conform.trials = 8 } in
+  let json domains =
+    Stats.Json.to_string_pretty (Workload.Conform.to_json (Workload.Conform.run ~domains config))
+  in
+  let d1 = json 1 in
+  Alcotest.(check string) "2 domains" d1 (json 2);
+  Alcotest.(check string) "4 domains" d1 (json 4)
+
+(* Obsv exports collected on worker domains merge to the same ledger as a
+   sequential run: trace collection is domain-local, so per-trial
+   collectors never interleave. *)
+let test_obsv_merge_domain_independent () =
+  let k = 32 in
+  let universe = 1 lsl 16 in
+  let protocol = Bucket_protocol.protocol ~k () in
+  let stream = Engine.Seed_stream.create ~base:99 ~label:"det/obsv" in
+  let ledgers domains =
+    Engine.Pool.map ~domains ~trials:6 (fun i ->
+        let rng = Engine.Seed_stream.trial_rng stream (i + 1) in
+        let pair =
+          Workload.Setgen.pair_with_overlap
+            (Prng.Rng.with_label rng "pair")
+            ~universe ~size_s:k ~size_t:k ~overlap:(k / 2)
+        in
+        let collector = Obsv.Trace.create () in
+        Obsv.Trace.with_collector collector (fun () ->
+            ignore
+              (protocol.Protocol.run
+                 (Prng.Rng.with_label rng "run")
+                 ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t));
+        Obsv.Export.phases collector)
+    |> Array.to_list |> Obsv.Export.merge_phases |> Obsv.Export.phases_json_of
+    |> Stats.Json.to_string_pretty
+  in
+  let d1 = ledgers 1 in
+  Alcotest.(check string) "2 domains" d1 (ledgers 2);
+  Alcotest.(check string) "4 domains" d1 (ledgers 4)
+
 let test_golden_costs () =
   let cases =
     [
@@ -131,6 +182,10 @@ let () =
         [
           Alcotest.test_case "two-party protocols" `Quick test_protocols_deterministic;
           Alcotest.test_case "multi-party protocols" `Quick test_multiparty_deterministic;
+          Alcotest.test_case "soak domain-independent" `Quick test_soak_domain_independent;
+          Alcotest.test_case "conform domain-independent" `Quick test_conform_domain_independent;
+          Alcotest.test_case "obsv merge domain-independent" `Quick
+            test_obsv_merge_domain_independent;
         ] );
       ( "corollary-3.4",
         [ Alcotest.test_case "agreement implies exact" `Quick test_agreement_implies_exact ] );

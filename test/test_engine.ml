@@ -1,0 +1,208 @@
+(* The Domain-parallel trial engine: schedule-independence of Pool.map,
+   seed-stream compatibility with the legacy soak derivation, merge
+   algebra, and protocol exactness across the adversarial shape
+   catalogue. *)
+
+open Intersect
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Pool ------------------------------------------------------------ *)
+
+let test_pool_matches_sequential () =
+  List.iter
+    (fun (domains, trials) ->
+      let f i = (i * 7919) lxor (i lsl 3) in
+      let sequential = Array.init trials f in
+      let parallel = Engine.Pool.map ~domains ~trials f in
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d trials=%d" domains trials)
+        sequential parallel)
+    [ (1, 100); (2, 100); (4, 100); (3, 101); (4, 3); (8, 1); (2, 0) ]
+
+let test_pool_propagates_exceptions () =
+  List.iter
+    (fun domains ->
+      let f i = if i = 33 then failwith "boom" else i in
+      Alcotest.check_raises
+        (Printf.sprintf "domains=%d" domains)
+        (Failure "boom")
+        (fun () -> ignore (Engine.Pool.map ~domains ~trials:50 f)))
+    [ 1; 4 ]
+
+let test_pool_run_folds_in_order () =
+  let concat = Engine.Pool.run ~domains:4 ~trials:20 string_of_int ~init:"" ~merge:( ^ ) in
+  Alcotest.(check string)
+    "fold order" (String.concat "" (List.init 20 string_of_int)) concat
+
+let test_pool_rejects_bad_args () =
+  Alcotest.check_raises "domains=0" (Invalid_argument "Engine.Pool.map: domains < 1") (fun () ->
+      ignore (Engine.Pool.map ~domains:0 ~trials:1 Fun.id));
+  Alcotest.check_raises "trials<0" (Invalid_argument "Engine.Pool.map: trials < 0") (fun () ->
+      ignore (Engine.Pool.map ~domains:1 ~trials:(-1) Fun.id))
+
+(* --- Seed streams ---------------------------------------------------- *)
+
+(* The engine derivation must match the historical soak seeding exactly:
+   byte-identical soak reports depend on it. *)
+let test_seed_stream_matches_legacy () =
+  let stream = Engine.Seed_stream.create ~base:2014 ~label:"soak/tree/clean" in
+  for i = 1 to 40 do
+    let engine = Engine.Seed_stream.trial_rng stream i in
+    let legacy =
+      Prng.Rng.with_label (Prng.Rng.of_int 2014) (Printf.sprintf "soak/tree/clean/trial%d" i)
+    in
+    Alcotest.(check int64)
+      (Printf.sprintf "trial %d" i)
+      (Prng.Rng.int64 legacy) (Prng.Rng.int64 engine)
+  done
+
+let test_seed_stream_trials_independent () =
+  let stream = Engine.Seed_stream.create ~base:7 ~label:"x" in
+  let a = Prng.Rng.int64 (Engine.Seed_stream.trial_rng stream 1) in
+  let b = Prng.Rng.int64 (Engine.Seed_stream.trial_rng stream 2) in
+  check_bool "distinct streams" true (a <> b)
+
+(* --- Merge algebra --------------------------------------------------- *)
+
+let cost_of ~bits ~rounds =
+  let c = Commsim.Cost.zero ~players:2 in
+  { c with Commsim.Cost.total_bits = bits; messages = 1; rounds }
+
+let test_merge_costs_associative_commutative () =
+  let a = cost_of ~bits:3 ~rounds:1
+  and b = cost_of ~bits:5 ~rounds:2
+  and c = cost_of ~bits:7 ~rounds:4 in
+  let total l = (Engine.Merge.costs ~players:2 l).Commsim.Cost.total_bits in
+  check "assoc/comm bits" (total [ a; b; c ]) (total [ c; a; b ]);
+  check "sum" 15 (total [ a; b; c ])
+
+let test_merge_metrics () =
+  let mk counter gauge =
+    let r = Obsv.Metrics.create () in
+    Obsv.Metrics.with_registry r (fun () ->
+        Obsv.Metrics.incr ~by:counter "trials";
+        Obsv.Metrics.set_gauge "depth" gauge;
+        Obsv.Metrics.observe "payload" counter);
+    r
+  in
+  let r1 = mk 3 10 and r2 = mk 4 2 in
+  let merged = Engine.Merge.metrics [ r1; r2 ] in
+  let merged' = Engine.Merge.metrics [ r2; r1 ] in
+  Alcotest.(check string)
+    "commutative"
+    (Stats.Json.to_string (Obsv.Metrics.to_json merged))
+    (Stats.Json.to_string (Obsv.Metrics.to_json merged'));
+  check "counters add" 7 (Obsv.Metrics.counter_value merged "trials");
+  Alcotest.(check (option int)) "gauges max" (Some 10) (Obsv.Metrics.gauge_value merged "depth");
+  match Obsv.Metrics.histogram_of merged "payload" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check "histogram count" 2 h.Obsv.Metrics.count;
+      check "histogram sum" 7 h.Obsv.Metrics.sum
+
+let test_merge_summaries_index_order () =
+  let acc_of l = List.fold_left Stats.Summary.Acc.add Stats.Summary.Acc.empty l in
+  let left = acc_of [ 1.0; 2.0 ] and right = acc_of [ 3.0; 4.0 ] in
+  let merged = Engine.Merge.summaries [ left; right ] in
+  let direct = acc_of [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9))
+    "mean" (Stats.Summary.Acc.summarize direct).Stats.Summary.mean
+    (Stats.Summary.Acc.summarize merged).Stats.Summary.mean;
+  check "count" 4 (Stats.Summary.Acc.count merged)
+
+(* --- Adversarial shapes ---------------------------------------------- *)
+
+let shape_protocols k =
+  [
+    ("trivial", Trivial.protocol);
+    ("basic", Basic_intersection.protocol ~failure:0.001);
+    ("one-round", One_round_hash.protocol ~confidence:6 ());
+    ("bucket", Bucket_protocol.protocol ~k ());
+    ("tree r=2", Tree_protocol.protocol ~r:2 ~k ());
+    ("tree log*", Tree_protocol.protocol_log_star ~k ());
+  ]
+
+let test_shapes_well_formed () =
+  let shapes = Workload.Setgen.adversarial (Prng.Rng.of_int 11) ~k:16 in
+  check "count" 9 (List.length shapes);
+  List.iter
+    (fun { Workload.Setgen.shape; universe; pair } ->
+      check_bool (shape ^ " s sorted") true (Workload.Setgen.is_sorted_set pair.Workload.Setgen.s);
+      check_bool (shape ^ " t sorted") true (Workload.Setgen.is_sorted_set pair.Workload.Setgen.t);
+      Array.iter
+        (fun x -> check_bool (shape ^ " s in universe") true (0 <= x && x < universe))
+        pair.Workload.Setgen.s;
+      Array.iter
+        (fun x -> check_bool (shape ^ " t in universe") true (0 <= x && x < universe))
+        pair.Workload.Setgen.t)
+    shapes;
+  let find name = List.find (fun s -> s.Workload.Setgen.shape = name) shapes in
+  let inter name =
+    let s = find name in
+    Array.length
+      (Workload.Setgen.intersect s.Workload.Setgen.pair.Workload.Setgen.s
+         s.Workload.Setgen.pair.Workload.Setgen.t)
+  in
+  check "empty-both" 0 (inter "empty-both");
+  check "identical" 16 (inter "identical");
+  check "nested" 8 (inter "nested");
+  check "singleton-equal" 1 (inter "singleton-equal");
+  check "singleton-disjoint" 0 (inter "singleton-disjoint");
+  check "disjoint" 0 (inter "disjoint");
+  check "dense-universe" 8 (inter "dense-universe")
+
+(* Every protocol must output exactly S ∩ T on every catalogue shape.
+   The seed is pinned: randomized protocols are deterministic given it,
+   so this asserts a reproducible fact, not a probabilistic hope — and
+   the shapes (empty sets, singletons, k-overlap, dense universes) are
+   exactly the corners where indexing bugs hide. *)
+let test_protocols_exact_on_shapes () =
+  List.iter
+    (fun k ->
+      let shapes = Workload.Setgen.adversarial (Prng.Rng.of_int 4242) ~k in
+      List.iter
+        (fun { Workload.Setgen.shape; universe; pair } ->
+          List.iter
+            (fun (name, protocol) ->
+              let outcome =
+                protocol.Protocol.run
+                  (Prng.Rng.with_label (Prng.Rng.of_int 2014) (shape ^ "/" ^ name))
+                  ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+              in
+              check_bool
+                (Printf.sprintf "k=%d %s %s exact" k shape name)
+                true
+                (Protocol.exact outcome ~s:pair.Workload.Setgen.s ~t:pair.Workload.Setgen.t))
+            (shape_protocols k))
+        shapes)
+    [ 4; 16; 64 ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exceptions;
+          Alcotest.test_case "run folds in order" `Quick test_pool_run_folds_in_order;
+          Alcotest.test_case "rejects bad args" `Quick test_pool_rejects_bad_args;
+        ] );
+      ( "seed-stream",
+        [
+          Alcotest.test_case "matches legacy soak" `Quick test_seed_stream_matches_legacy;
+          Alcotest.test_case "trials independent" `Quick test_seed_stream_trials_independent;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "costs" `Quick test_merge_costs_associative_commutative;
+          Alcotest.test_case "metrics" `Quick test_merge_metrics;
+          Alcotest.test_case "summaries" `Quick test_merge_summaries_index_order;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "well-formed" `Quick test_shapes_well_formed;
+          Alcotest.test_case "protocols exact" `Quick test_protocols_exact_on_shapes;
+        ] );
+    ]

@@ -16,6 +16,16 @@ dune exec bin/intersect_cli.exe -- trace --protocol bucket -k 64 --seed 1 \
   | ./_build/default/bin/json_check.exe
 dune exec bin/intersect_cli.exe -- profile --protocol bucket -k 64 --seed 1 > /dev/null
 
+# Engine smoke: the theorem-conformance tier on two worker domains (exits
+# non-zero on any envelope violation), and the engine's determinism
+# contract — the soak report must be byte-identical at 1 and 2 domains.
+dune exec bin/intersect_cli.exe -- conform --smoke --domains 2 > /dev/null
+soak_d1=$(mktemp) && soak_d2=$(mktemp)
+trap 'rm -f "$soak_d1" "$soak_d2"' EXIT
+dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 1 > "$soak_d1"
+dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 2 > "$soak_d2"
+cmp "$soak_d1" "$soak_d2"
+
 # Formatting gate, where the formatter is installed (the CI image may not
 # ship ocamlformat; .ocamlformat pins the profile either way).
 if command -v ocamlformat > /dev/null 2>&1; then
