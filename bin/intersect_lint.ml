@@ -1,0 +1,53 @@
+(* intersect-lint: static invariant checker for the whole tree.
+
+   Parses every .ml/.mli under lib/, bin/, bench/, and test/ with
+   compiler-libs and enforces the repo's determinism, ambient-state,
+   phase-registry, domain-hygiene, and interface-coverage conventions
+   (rules R1..R5 — see lib/lint/rules.mli and DESIGN.md).
+
+   Exit codes: 0 clean, 1 findings, 2 could not run (bad root or
+   malformed lint.allow).  Output is a pure function of the sources, so
+   two runs over the same tree are byte-identical. *)
+
+open Cmdliner
+
+let run root json rules =
+  if rules then begin
+    List.iter (fun (id, descr) -> Printf.printf "%-6s %s\n" id descr) Lint.Rules.catalogue;
+    0
+  end
+  else
+    match Lint.Driver.run ~root () with
+    | Error msg ->
+        prerr_endline ("intersect-lint: " ^ msg);
+        2
+    | Ok { Lint.Driver.files; findings } ->
+        if json then
+          print_endline (Stats.Json.to_string (Lint.Finding.report_json ~files findings))
+        else begin
+          List.iter (fun f -> print_endline (Lint.Finding.to_line f)) findings;
+          Printf.printf "intersect-lint: %d file%s scanned, %d finding%s\n" files
+            (if files = 1 then "" else "s")
+            (List.length findings)
+            (if List.length findings = 1 then "" else "s")
+        end;
+        if findings = [] then 0 else 1
+
+let root_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to lint (contains lib/, bin/, bench/, test/).")
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+
+let rules_arg =
+  Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit without linting.")
+
+let cmd =
+  let doc = "static invariant checker for the intersection codebase" in
+  Cmd.v
+    (Cmd.info "intersect_lint" ~doc)
+    Term.(const run $ root_arg $ json_arg $ rules_arg)
+
+let () = exit (Cmd.eval' cmd)

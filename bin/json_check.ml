@@ -1,145 +1,145 @@
 (* Strict JSON validator over stdin: exits 0 iff the input is one valid
    JSON value (per RFC 8259) followed only by whitespace.  Used by the
-   tier-1 smoke to check that `intersect_cli trace` emits loadable JSON
-   without taking on a parser dependency. *)
+   tier-1 smoke to check that `intersect_cli trace` and `intersect_lint
+   --json` emit loadable JSON without taking on a parser dependency.
 
-let input = In_channel.input_all In_channel.stdin
-let len = String.length input
-let pos = ref 0
+   The cursor lives inside [validate] (not at top level) so the module
+   carries no ambient mutable state — intersect-lint rule R2 holds here
+   like everywhere else. *)
 
 exception Bad of string
 
-let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos))
-let peek () = if !pos < len then Some input.[!pos] else None
-let advance () = incr pos
-
-let skip_ws () =
-  while
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        true
-    | _ -> false
-  do
-    ()
-  done
-
-let expect c =
-  match peek () with
-  | Some got when got = c -> advance ()
-  | _ -> fail (Printf.sprintf "expected %C" c)
-
-let literal word =
-  String.iter expect word
-
-let string_value () =
-  expect '"';
-  let rec loop () =
-    match peek () with
-    | None -> fail "unterminated string"
-    | Some '"' -> advance ()
-    | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
-            advance ();
-            loop ()
-        | Some 'u' ->
-            advance ();
-            for _ = 1 to 4 do
-              match peek () with
-              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-              | _ -> fail "bad \\u escape"
-            done;
-            loop ()
-        | _ -> fail "bad escape")
-    | Some c when Char.code c < 0x20 -> fail "control character in string"
-    | Some _ ->
-        advance ();
-        loop ()
+let validate input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          true
+      | _ -> false
+    do
+      ()
+    done
   in
-  loop ()
-
-let digits () =
-  let n = ref 0 in
-  while (match peek () with Some '0' .. '9' -> true | _ -> false) do
-    advance ();
-    incr n
-  done;
-  if !n = 0 then fail "expected digit"
-
-let number_value () =
-  if peek () = Some '-' then advance ();
-  (match peek () with
-  | Some '0' -> advance ()
-  | Some '1' .. '9' -> digits ()
-  | _ -> fail "expected number");
-  if peek () = Some '.' then begin
-    advance ();
-    digits ()
-  end;
-  match peek () with
-  | Some ('e' | 'E') ->
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word = String.iter expect word in
+  let string_value () =
+    expect '"';
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              loop ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ ->
+          advance ();
+          loop ()
+    in
+    loop ()
+  in
+  let digits () =
+    let n = ref 0 in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
       advance ();
-      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      incr n
+    done;
+    if !n = 0 then fail "expected digit"
+  in
+  let number_value () =
+    if peek () = Some '-' then advance ();
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "expected number");
+    if peek () = Some '.' then begin
+      advance ();
       digits ()
-  | _ -> ()
-
-let rec value () =
-  skip_ws ();
-  match peek () with
-  | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then advance ()
-      else
-        let rec members () =
-          skip_ws ();
-          string_value ();
-          skip_ws ();
-          expect ':';
-          value ();
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              advance ();
-              members ()
-          | Some '}' -> advance ()
-          | _ -> fail "expected ',' or '}'"
-        in
-        members ()
-  | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then advance ()
-      else
-        let rec elements () =
-          value ();
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              advance ();
-              elements ()
-          | Some ']' -> advance ()
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements ()
-  | Some '"' -> string_value ()
-  | Some 't' -> literal "true"
-  | Some 'f' -> literal "false"
-  | Some 'n' -> literal "null"
-  | Some ('-' | '0' .. '9') -> number_value ()
-  | _ -> fail "expected a JSON value"
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            string_value ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ()
+    | Some '"' -> string_value ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number_value ()
+    | _ -> fail "expected a JSON value"
+  in
+  if len = 0 then Error "empty input"
+  else begin
+    value ();
+    skip_ws ();
+    if !pos <> len then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok ()
+  end
 
 let () =
-  match
-    if len = 0 then Error "empty input"
-    else begin
-      value ();
-      skip_ws ();
-      if !pos <> len then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok ()
-    end
-  with
+  match validate (In_channel.input_all In_channel.stdin) with
   | exception Bad msg ->
       prerr_endline ("json_check: " ^ msg);
       exit 1

@@ -23,7 +23,7 @@ let run rng ~failure chan ~first mine =
   let open Commsim.Chan in
   let my_size = Array.length mine in
   let their_size =
-    Obsv.Trace.span "bi/sizes" (fun () ->
+    Obsv.Trace.span Obsv.Phases.bi_sizes (fun () ->
         if first then begin
           chan.send (Wire.gamma_msg my_size);
           Wire.read_gamma_msg (chan.recv ())
@@ -44,7 +44,7 @@ let run rng ~failure chan ~first mine =
   in
   Obsv.Metrics.observe "bi/tag_bits" bits;
   let their_tags =
-    Obsv.Trace.span "bi/tags" ~attrs:[ ("bits", string_of_int bits) ] (fun () ->
+    Obsv.Trace.span Obsv.Phases.bi_tags ~attrs:[ ("bits", string_of_int bits) ] (fun () ->
         if first then begin
           chan.send my_tags;
           chan.recv ()

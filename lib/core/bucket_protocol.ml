@@ -54,7 +54,7 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
         let reader = Bitio.Bitreader.create payload in
         Array.init k (fun _ -> Bitio.Codes.read_gamma reader)
       in
-      Obsv.Trace.span "bucket/assign" ~attrs:[ ("attempt", string_of_int attempt) ] (fun () ->
+      Obsv.Trace.span Obsv.Phases.bucket_assign ~attrs:[ ("attempt", string_of_int attempt) ] (fun () ->
           match role with
           | `Alice ->
               chan.send counts_msg;
@@ -97,7 +97,7 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
   Obsv.Metrics.set_gauge "bucket/instances" (Array.length instances);
   let eq_rng = Prng.Rng.with_label rng "bucket/eq-batch" in
   let verdicts =
-    Obsv.Trace.span "bucket/eq" ~attrs:[ ("instances", string_of_int (Array.length instances)) ]
+    Obsv.Trace.span Obsv.Phases.bucket_eq ~attrs:[ ("instances", string_of_int (Array.length instances)) ]
       (fun () ->
         match role with
         | `Alice -> Eq_batch.run_alice ?sequential eq_rng chan instances

@@ -89,7 +89,7 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
     let iteration = ref 0 in
     while !active <> [] do
       if !iteration >= max_iterations then begin
-        Obsv.Trace.span "eq/exact" (fun () -> exact_round !active);
+        Obsv.Trace.span Obsv.Phases.eq_exact (fun () -> exact_round !active);
         active := []
       end
       else begin
@@ -100,7 +100,7 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
           List.concat_map (fun g -> List.map (fun idx -> (g.gid, idx)) g.undecided) !active
         in
         let mismatches =
-          Obsv.Trace.span "eq/tags" (fun () ->
+          Obsv.Trace.span Obsv.Phases.eq_tags (fun () ->
               tag_round entries ~tag_of:(fun (gid, idx) ->
                   instance_tag ~gid ~iteration:!iteration ~idx ~bits))
         in
@@ -122,7 +122,7 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
         if candidates <> [] then begin
           Obsv.Metrics.incr "eq/joint_checks";
           let passed =
-            Obsv.Trace.span "eq/joint" (fun () ->
+            Obsv.Trace.span Obsv.Phases.eq_joint (fun () ->
                 tag_round
                   (List.map (fun g -> (g.gid, -1)) candidates)
                   ~tag_of:(fun (gid, _) ->

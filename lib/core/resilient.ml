@@ -145,7 +145,7 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
   let fallback ~attempts ~failures ~width =
     Obsv.Metrics.incr "resilient/fallbacks";
     let (result, _), cost =
-      Obsv.Trace.span "resilient/fallback" (fun () ->
+      Obsv.Trace.span Obsv.Phases.resilient_fallback (fun () ->
           Commsim.Two_party.run
             ~alice:(fun chan -> trivial_alice rng ~universe s chan)
             ~bob:(fun chan -> trivial_bob rng ~universe t chan))
@@ -164,7 +164,7 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
     Obsv.Metrics.incr "resilient/attempts";
     Obsv.Metrics.set_gauge "resilient/check_bits" width;
     let outcome, cost, tallies =
-      Obsv.Trace.span "resilient/attempt"
+      Obsv.Trace.span Obsv.Phases.resilient_attempt
         ~attrs:[ ("attempt", string_of_int i); ("check_bits", string_of_int width) ]
         (fun () ->
           Commsim.Two_party.run_faulty ~plan:(Commsim.Faults.reseed plan ~salt:i)
@@ -172,7 +172,7 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
               let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
               let candidate = base.alice base_rng ~universe s chan in
               let accepted =
-                Obsv.Trace.span "resilient/verify" (fun () ->
+                Obsv.Trace.span Obsv.Phases.resilient_verify (fun () ->
                     Equality.run_alice_set check_rng ~bits:width chan candidate)
               in
               (candidate, accepted))
@@ -180,7 +180,7 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
               let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
               let candidate = base.bob base_rng ~universe t chan in
               let accepted =
-                Obsv.Trace.span "resilient/verify" (fun () ->
+                Obsv.Trace.span Obsv.Phases.resilient_verify (fun () ->
                     Equality.run_bob_set check_rng ~bits:width chan candidate)
               in
               (candidate, accepted)))

@@ -9,7 +9,7 @@ let stage_eq_bits fl = max 8 (4 * Iterated_log.log2_ceil (fl + 1))
 let trivial_fallback role chan mine =
   let open Commsim.Chan in
   Obsv.Metrics.incr "tree/fallbacks";
-  Obsv.Trace.span "tree/fallback" (fun () ->
+  Obsv.Trace.span Obsv.Phases.tree_fallback (fun () ->
       match role with
       | `Alice ->
           chan.send (Wire.of_set mine);
@@ -71,7 +71,7 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
        failed nodes (needed to parameterize the re-runs). *)
     Obsv.Metrics.observe "tree/eq_bits" eq_bits;
     let failed_leaves, their_sizes =
-      Obsv.Trace.span "tree/eq"
+      Obsv.Trace.span Obsv.Phases.tree_eq
         ~attrs:[ ("stage", string_of_int stage); ("eq_bits", string_of_int eq_bits) ]
         (fun () ->
           match role with
@@ -121,7 +121,7 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
         let bits = Basic_intersection.tag_bits ~m ~failure in
         Strhash.create (Prng.Rng.with_label rng label) ~bits
       in
-      Obsv.Trace.span "tree/rerun" ~attrs:[ ("stage", string_of_int stage) ] (fun () ->
+      Obsv.Trace.span Obsv.Phases.tree_rerun ~attrs:[ ("stage", string_of_int stage) ] (fun () ->
       match role with
       | `Alice ->
           let sizes = List.combine failed_leaves their_sizes in

@@ -6,7 +6,7 @@ let protocol =
       (fun _rng ~universe s t ->
         Protocol.validate_inputs ~universe s t;
         let alice chan =
-          Obsv.Trace.span "trivial/offer" (fun () -> chan.Commsim.Chan.send (Wire.of_set s));
+          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> chan.Commsim.Chan.send (Wire.of_set s));
           Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
         in
         let bob chan =
@@ -14,7 +14,7 @@ let protocol =
             Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
           in
           let intersection = Iset.inter received t in
-          Obsv.Trace.span "trivial/reply" (fun () ->
+          Obsv.Trace.span Obsv.Phases.trivial_reply (fun () ->
               chan.Commsim.Chan.send (Wire.of_set intersection));
           intersection
         in
@@ -36,13 +36,13 @@ let protocol_entropy =
         in
         let decode payload = Bitio.Enum_codec.read (Bitio.Bitreader.create payload) ~universe in
         let alice chan =
-          Obsv.Trace.span "trivial/offer" (fun () -> chan.Commsim.Chan.send (encode s));
+          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> chan.Commsim.Chan.send (encode s));
           decode (chan.Commsim.Chan.recv ())
         in
         let bob chan =
           let received = decode (chan.Commsim.Chan.recv ()) in
           let intersection = Iset.inter received t in
-          Obsv.Trace.span "trivial/reply" (fun () -> chan.Commsim.Chan.send (encode intersection));
+          Obsv.Trace.span Obsv.Phases.trivial_reply (fun () -> chan.Commsim.Chan.send (encode intersection));
           intersection
         in
         let (alice, bob), cost = Commsim.Two_party.run ~alice ~bob in
@@ -57,7 +57,7 @@ let protocol_full_exchange =
       (fun _rng ~universe s t ->
         Protocol.validate_inputs ~universe s t;
         let party mine chan =
-          Obsv.Trace.span "trivial/offer" (fun () -> chan.Commsim.Chan.send (Wire.of_set mine));
+          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> chan.Commsim.Chan.send (Wire.of_set mine));
           let theirs =
             Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
           in

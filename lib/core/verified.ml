@@ -10,12 +10,12 @@ let run base ~bits ~max_attempts rng ~universe s t =
     let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "verified/attempt%d" i) in
     Obsv.Metrics.incr "verified/attempts";
     let outcome =
-      Obsv.Trace.span "verified/attempt" ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
+      Obsv.Trace.span Obsv.Phases.verified_attempt ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
           base.Protocol.run attempt_rng ~universe s t)
     in
     let eq_rng = Prng.Rng.with_label attempt_rng "verified/check" in
     let (passed, _), check_cost =
-      Obsv.Trace.span "verified/check" ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
+      Obsv.Trace.span Obsv.Phases.verified_check ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
           Commsim.Two_party.run
             ~alice:(fun chan -> Equality.run_alice_set eq_rng ~bits chan outcome.Protocol.alice)
             ~bob:(fun chan -> Equality.run_bob_set eq_rng ~bits chan outcome.Protocol.bob))
@@ -34,12 +34,12 @@ let run_party role rng ~bits ~max_attempts chan ~party =
   let rec attempt i =
     let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "attempt%d" i) in
     let candidate =
-      Obsv.Trace.span "verified/attempt" ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
+      Obsv.Trace.span Obsv.Phases.verified_attempt ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
           party attempt_rng chan)
     in
     let eq_rng = Prng.Rng.with_label attempt_rng "check" in
     let passed =
-      Obsv.Trace.span "verified/check" (fun () ->
+      Obsv.Trace.span Obsv.Phases.verified_check (fun () ->
           match role with
           | `Alice -> Equality.run_alice_set eq_rng ~bits chan candidate
           | `Bob -> Equality.run_bob_set eq_rng ~bits chan candidate)

@@ -1,0 +1,24 @@
+type entry = { rule : string; prefix : string }
+type t = entry list
+
+let strip_comment line = match String.index_opt line '#' with None -> line | Some i -> String.sub line 0 i
+
+let parse ~known content =
+  let entries = ref [] in
+  let err = ref None in
+  String.split_on_char '\n' content
+  |> List.iteri (fun i line ->
+         if !err = None then
+           match String.split_on_char ' ' (strip_comment line) |> List.filter (( <> ) "") with
+           | [] -> ()
+           | [ rule; prefix ] when List.mem rule known -> entries := { rule; prefix } :: !entries
+           | rule :: _ when not (List.mem rule known) ->
+               err := Some (Printf.sprintf "line %d: unknown rule id %S" (i + 1) rule)
+           | _ -> err := Some (Printf.sprintf "line %d: expected '<rule> <path-prefix>'" (i + 1)));
+  match !err with Some e -> Error e | None -> Ok (List.rev !entries)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let allows t ~rule ~file =
+  List.exists (fun e -> e.rule = rule && starts_with ~prefix:e.prefix file) t

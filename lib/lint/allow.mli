@@ -1,0 +1,24 @@
+(** The per-path allowlist ([lint.allow] at the lint root).
+
+    Format, one entry per line:
+
+    {v
+    # comment (also allowed after an entry)
+    <rule-id> <path-prefix>   # why this exemption is legitimate
+    v}
+
+    An entry suppresses findings of [rule-id] in every file whose
+    root-relative path starts with [path-prefix].  Rule ids are validated
+    against the known set at parse time so a typo'd entry fails loudly
+    instead of silently allowing nothing. *)
+
+type entry = { rule : string; prefix : string }
+type t = entry list
+
+(** [parse ~known content] parses allowlist text; [Error] carries a
+    1-based line number and reason. *)
+val parse : known:string list -> string -> (t, string) result
+
+(** [allows t ~rule ~file] is true iff some entry suppresses [rule] for
+    [file]. *)
+val allows : t -> rule:string -> file:string -> bool

@@ -1,0 +1,29 @@
+(** Walks a source tree, parses every [.ml]/[.mli] with compiler-libs,
+    runs the {!Rules} catalogue, and applies the allowlist.
+
+    Everything is deterministic by construction: files are discovered in
+    sorted order, findings are sorted with {!Finding.compare}, and no
+    wall clock or ambient randomness is consulted — two runs over the
+    same tree produce byte-identical reports. *)
+
+(** The directories scanned under the root, in order. *)
+val scan_dirs : string list
+
+(** The allowlist file name looked up at the root. *)
+val allow_file : string
+
+(** Lint one source held in memory (used by the test fixtures; no
+    allowlist, no R5).  [path] selects the rules' structural scopes and
+    the extension selects implementation vs interface parsing;
+    [registry] defaults to {!Obsv.Phases.mem}. *)
+val lint_source : ?registry:(string -> bool) -> path:string -> string -> Finding.t list
+
+type report = {
+  files : int;  (** number of source files scanned *)
+  findings : Finding.t list;  (** sorted, allowlist already applied *)
+}
+
+(** Lint the tree rooted at [root] (default ["."]). [Error] means the
+    linter could not run at all — missing root or a malformed
+    allowlist — as opposed to a clean run with findings. *)
+val run : ?root:string -> unit -> (report, string) result

@@ -1,0 +1,38 @@
+type t = { rule : string; file : string; line : int; col : int; message : string }
+
+let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_line f = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let json f =
+  Stats.Json.Obj
+    [
+      ("rule", Stats.Json.Str f.rule);
+      ("file", Stats.Json.Str f.file);
+      ("line", Stats.Json.Int f.line);
+      ("col", Stats.Json.Int f.col);
+      ("message", Stats.Json.Str f.message);
+    ]
+
+let report_json ~files findings =
+  let findings = List.sort compare findings in
+  Stats.Json.Obj
+    [
+      ("tool", Stats.Json.Str "intersect-lint");
+      ("files", Stats.Json.Int files);
+      ("count", Stats.Json.Int (List.length findings));
+      ("findings", Stats.Json.List (List.map json findings));
+    ]

@@ -1,0 +1,26 @@
+(** A single linter diagnostic: which rule fired, where, and why.
+
+    Findings order deterministically (file, then position, then rule,
+    then message) so repeated runs over the same tree render
+    byte-identical reports — the linter is itself held to the repo's
+    determinism discipline. *)
+
+type t = {
+  rule : string;  (** rule id: ["R1"].."R5"], or ["syntax"] for parse errors *)
+  file : string;  (** path relative to the lint root, ['/']-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler diagnostics *)
+  message : string;
+}
+
+val v : rule:string -> file:string -> line:int -> col:int -> string -> t
+val compare : t -> t -> int
+
+(** [lib/core/foo.ml:12:4: \[R1\] message] — the human-readable line. *)
+val to_line : t -> string
+
+val json : t -> Stats.Json.t
+
+(** The full machine-readable report: tool name, file count, finding
+    count, findings in {!compare} order. *)
+val report_json : files:int -> t list -> Stats.Json.t

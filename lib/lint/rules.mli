@@ -1,0 +1,45 @@
+(** The rule catalogue, over parsed {!Parsetree} values.
+
+    Rules see syntax only (no typing, no ppx): they are conservative
+    conventions about what may be {e written}, which is exactly what the
+    repo's whole-tree invariants (seeded replay, phase-exact accounting,
+    domain safety) need enforced at build time.
+
+    - {b R1 determinism} — no [Random.*], [Unix.time]/[gettimeofday],
+      [Sys.time], [Hashtbl.hash]/[seeded_hash]/[hash_param]/[randomize],
+      or [Hashtbl.create ~random:…] outside [lib/prng] and
+      [lib/engine/seed_stream] (structural exemptions) — everything
+      random must flow from a seed.
+    - {b R2 ambient state} — no top-level mutable globals
+      ([ref]/[Atomic.make]/[Hashtbl.create]/[Queue.create]/
+      [Stack.create]/[Buffer.create], also under [lazy]) outside
+      [lib/obsv], whose Domain-local wrappers are the sanctioned home
+      for ambient state.
+    - {b R3 phase registry} — a string literal passed to [Trace.span]
+      must be registered (see {!Obsv.Phases}); constants pass by
+      construction.
+    - {b R4 domain hygiene} — [Domain.spawn]/[Domain.DLS] only in
+      [lib/engine] and [lib/obsv].
+    - {b R5 interface coverage} — every [lib/**.ml] has a matching
+      [.mli].
+
+    Structural exemptions above are part of the rule; anything else
+    belongs in the allowlist ({!Allow}). *)
+
+(** Rule ids with one-line descriptions, in report order ([syntax]
+    first, then R1..R5).  This is also the id set allowlists are
+    validated against. *)
+val catalogue : (string * string) list
+
+val rule_ids : string list
+
+(** Check one parsed implementation.  [registry] decides R3 membership
+    (the production linter passes [Obsv.Phases.mem]).  [file] is the
+    root-relative path and selects each rule's structural scope. *)
+val check_structure :
+  registry:(string -> bool) -> file:string -> Parsetree.structure -> Finding.t list
+
+(** R5 over the discovered file set: [files] are root-relative paths of
+    every source file scanned; flags each [lib/**.ml] with no matching
+    [.mli] in the set. *)
+val check_mli_coverage : files:string list -> Finding.t list

@@ -1,6 +1,6 @@
 open Stats
 
-let unattributed = "(unattributed)"
+let unattributed = Phases.unattributed
 
 let span_index c =
   let tbl = Hashtbl.create 64 in

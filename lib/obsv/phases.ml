@@ -1,0 +1,58 @@
+(* The span-name registry.  Every Trace.span call site refers to one of
+   these constants; intersect_lint (rule R3) rejects string literals that
+   are not in [all], so a phase name cannot drift from the registry. *)
+
+let unattributed = "(unattributed)"
+let bi_sizes = "bi/sizes"
+let bi_tags = "bi/tags"
+let bucket_assign = "bucket/assign"
+let bucket_eq = "bucket/eq"
+let eq_exact = "eq/exact"
+let eq_joint = "eq/joint"
+let eq_tags = "eq/tags"
+let multiparty_broadcast = "multiparty/broadcast"
+let resilient_attempt = "resilient/attempt"
+let resilient_fallback = "resilient/fallback"
+let resilient_verify = "resilient/verify"
+let star_coordinate = "star/coordinate"
+let star_pair = "star/pair"
+let tour_pass = "tour/pass"
+let tour_root_check = "tour/root-check"
+let tour_verdict = "tour/verdict"
+let tree_eq = "tree/eq"
+let tree_fallback = "tree/fallback"
+let tree_rerun = "tree/rerun"
+let trivial_offer = "trivial/offer"
+let trivial_reply = "trivial/reply"
+let verified_attempt = "verified/attempt"
+let verified_check = "verified/check"
+
+let all =
+  [
+    unattributed;
+    bi_sizes;
+    bi_tags;
+    bucket_assign;
+    bucket_eq;
+    eq_exact;
+    eq_joint;
+    eq_tags;
+    multiparty_broadcast;
+    resilient_attempt;
+    resilient_fallback;
+    resilient_verify;
+    star_coordinate;
+    star_pair;
+    tour_pass;
+    tour_root_check;
+    tour_verdict;
+    tree_eq;
+    tree_fallback;
+    tree_rerun;
+    trivial_offer;
+    trivial_reply;
+    verified_attempt;
+    verified_check;
+  ]
+
+let mem name = List.mem name all

@@ -1,0 +1,68 @@
+(** The span-name registry: one constant per phase name that may appear in
+    a {!Trace.span} call, extracted from the instrumented protocols so the
+    names have a single source of truth.
+
+    The static analyzer ([intersect_lint], rule R3) flags any string
+    literal passed to [Trace.span] that is not in {!all}: a typo'd phase
+    would otherwise land silently in the profile's "(unattributed)" bucket
+    (or worse, a fresh misspelled bucket) and corrupt the per-phase
+    budget breakdown.  To add a phase, add a constant here, list it in
+    {!all}, and use the constant at the call site. *)
+
+(** Bucket used by {!Export} for messages sent outside any span. *)
+val unattributed : string
+
+(** {2 Basic_intersection (Lemma 3.3)} *)
+
+val bi_sizes : string
+val bi_tags : string
+
+(** {2 Bucket_protocol (Theorem 3.1)} *)
+
+val bucket_assign : string
+val bucket_eq : string
+
+(** {2 Eq_batch (Fact 3.5 / batched equality)} *)
+
+val eq_exact : string
+val eq_joint : string
+val eq_tags : string
+
+(** {2 Multiparty} *)
+
+val multiparty_broadcast : string
+val star_coordinate : string
+val star_pair : string
+val tour_pass : string
+val tour_root_check : string
+val tour_verdict : string
+
+(** {2 Resilient (adversarial channels)} *)
+
+val resilient_attempt : string
+val resilient_fallback : string
+val resilient_verify : string
+
+(** {2 Tree_protocol (Theorem 3.6)} *)
+
+val tree_eq : string
+val tree_fallback : string
+val tree_rerun : string
+
+(** {2 Trivial} *)
+
+val trivial_offer : string
+val trivial_reply : string
+
+(** {2 Verified} *)
+
+val verified_attempt : string
+val verified_check : string
+
+(** Every registered span name (including {!unattributed}), sorted,
+    without duplicates.  This is the set rule R3 checks literals against
+    and the one {!mem} consults. *)
+val all : string list
+
+(** [mem name] is true iff [name] is a registered phase name. *)
+val mem : string -> bool

@@ -1,0 +1,248 @@
+(* intersect-lint: fixture source snippets per rule (violating and
+   conforming), allowlist parsing and matching, golden --json output
+   under the fixed finding ordering, determinism of the report, and the
+   gate that the repository itself lints clean.
+
+   Fixtures are OCaml sources held in strings and linted via
+   Driver.lint_source with a chosen virtual path, so each rule's
+   structural scoping (lib/prng exempt from R1, lib/obsv from R2, ...)
+   is exercised without touching the filesystem. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let rules_of findings = List.map (fun (f : Lint.Finding.t) -> f.rule) findings
+
+let lint ?registry ~path source = Lint.Driver.lint_source ?registry ~path source
+
+let count_rule rule findings = List.length (List.filter (( = ) rule) (rules_of findings))
+
+(* --- R1: determinism ------------------------------------------------- *)
+
+let r1_violating =
+  {|
+let draw () = Random.int 10
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let h x = Hashtbl.hash x
+let t () = Hashtbl.create ~random:true 8
+|}
+
+let test_r1_flags_ambient_randomness () =
+  let findings = lint ~path:"lib/core/fixture.ml" r1_violating in
+  check "five R1 findings" 5 (count_rule "R1" findings);
+  check "nothing else fires" 5 (List.length findings)
+
+let test_r1_open_random () =
+  let findings = lint ~path:"lib/core/fixture.ml" "open Random\nlet draw () = int 10\n" in
+  check "open Random is one finding" 1 (count_rule "R1" findings)
+
+let test_r1_stdlib_qualifier_is_stripped () =
+  let findings = lint ~path:"lib/core/fixture.ml" "let d () = Stdlib.Random.bits ()\n" in
+  check "Stdlib.Random caught" 1 (count_rule "R1" findings)
+
+let test_r1_exempt_in_prng () =
+  check "lib/prng is the sanctioned home" 0
+    (List.length (lint ~path:"lib/prng/fixture.ml" r1_violating));
+  check "seed_stream is exempt" 0
+    (List.length (lint ~path:"lib/engine/seed_stream.ml" "let d () = Random.bits ()\n"))
+
+let test_r1_conforming () =
+  let src = "let draw rng = Prng.Rng.bits rng\nlet t () = Hashtbl.create ~random:false 8\n" in
+  check "seeded draws pass" 0 (List.length (lint ~path:"lib/core/fixture.ml" src))
+
+(* --- R2: ambient state ----------------------------------------------- *)
+
+let test_r2_flags_toplevel_mutable () =
+  let src =
+    {|
+let count = ref 0
+let table = Hashtbl.create 16
+let slot = Atomic.make None
+let lazy_q = lazy (Queue.create ())
+module Inner = struct
+  let buf = Buffer.create 80
+end
+|}
+  in
+  let findings = lint ~path:"lib/core/fixture.ml" src in
+  check "five R2 findings (incl. lazy and nested module)" 5 (count_rule "R2" findings)
+
+let test_r2_function_local_state_passes () =
+  let src = "let f () =\n  let count = ref 0 in\n  incr count;\n  !count\n" in
+  check "local refs are fine" 0 (List.length (lint ~path:"lib/core/fixture.ml" src))
+
+let test_r2_exempt_in_obsv () =
+  check "lib/obsv owns ambient state" 0
+    (List.length (lint ~path:"lib/obsv/fixture.ml" "let registry = Hashtbl.create 16\n"))
+
+(* --- R3: phase registry ---------------------------------------------- *)
+
+let test_r3_flags_unregistered_span_literal () =
+  let src = {|let f () = Obsv.Trace.span "bogus/phase" (fun () -> ())|} in
+  let findings = lint ~path:"lib/core/fixture.ml" src in
+  check "typo'd phase caught" 1 (count_rule "R3" findings)
+
+let test_r3_registered_literal_passes () =
+  let src = {|let f () = Obsv.Trace.span "bucket/assign" (fun () -> ())|} in
+  check "registered name passes" 0 (List.length (lint ~path:"lib/core/fixture.ml" src))
+
+let test_r3_constant_passes () =
+  let src = "let f () = Obsv.Trace.span Obsv.Phases.bucket_eq (fun () -> ())\n" in
+  check "Phases constant passes" 0 (List.length (lint ~path:"lib/core/fixture.ml" src))
+
+let test_r3_custom_registry () =
+  let src = {|let f () = Trace.span "custom/phase" ignore|} in
+  check "custom registry accepts" 0
+    (List.length (lint ~registry:(( = ) "custom/phase") ~path:"lib/core/fixture.ml" src));
+  check "custom registry rejects" 1
+    (count_rule "R3" (lint ~registry:(fun _ -> false) ~path:"lib/core/fixture.ml" src))
+
+(* --- R4: domain hygiene ---------------------------------------------- *)
+
+let test_r4_flags_domain_outside_engine () =
+  let src = "let d f = Domain.spawn f\nlet k () = Domain.DLS.new_key (fun () -> 0)\n" in
+  let findings = lint ~path:"lib/core/fixture.ml" src in
+  check "spawn and DLS caught" 2 (count_rule "R4" findings)
+
+let test_r4_exempt_in_engine_and_obsv () =
+  let src = "let d f = Domain.spawn f\n" in
+  check "lib/engine may spawn" 0 (List.length (lint ~path:"lib/engine/pool.ml" src));
+  check "lib/obsv may use DLS" 0
+    (List.length (lint ~path:"lib/obsv/trace.ml" "let k = Domain.DLS.new_key (fun () -> [])\n"))
+
+let test_r4_join_alone_passes () =
+  (* Only spawn/DLS are restricted; e.g. Domain.cpu_relax or
+     Domain.recommended_domain_count are harmless reads. *)
+  let src = "let n () = Domain.recommended_domain_count ()\n" in
+  check "other Domain reads pass" 0 (List.length (lint ~path:"lib/core/fixture.ml" src))
+
+(* --- R5: interface coverage ------------------------------------------ *)
+
+let test_r5_missing_mli () =
+  let files = [ "lib/core/a.ml"; "lib/core/a.mli"; "lib/core/b.ml"; "bin/cli.ml" ] in
+  let findings = Lint.Rules.check_mli_coverage ~files in
+  check "one missing interface" 1 (List.length findings);
+  check_str "names the .ml" "lib/core/b.ml" (List.hd findings).Lint.Finding.file;
+  check_str "rule id" "R5" (List.hd findings).Lint.Finding.rule
+
+(* --- syntax ----------------------------------------------------------- *)
+
+let test_syntax_error_is_a_finding () =
+  let findings = lint ~path:"lib/core/fixture.ml" "let = broken (" in
+  check "one syntax finding" 1 (count_rule "syntax" findings);
+  let findings = lint ~path:"lib/core/fixture.mli" "val : t" in
+  check "interfaces are parsed too" 1 (count_rule "syntax" findings)
+
+(* --- allowlist -------------------------------------------------------- *)
+
+let test_allow_parse_and_match () =
+  let known = Lint.Rules.rule_ids in
+  match Lint.Allow.parse ~known "# header\nR1 bench/ # wall clock\n\nR3 test/\n" with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      check "two entries" 2 (List.length entries);
+      check_bool "R1 under bench/ allowed" true
+        (Lint.Allow.allows entries ~rule:"R1" ~file:"bench/micro.ml");
+      check_bool "R1 elsewhere still fires" false
+        (Lint.Allow.allows entries ~rule:"R1" ~file:"lib/core/foo.ml");
+      check_bool "R2 under bench/ still fires" false
+        (Lint.Allow.allows entries ~rule:"R2" ~file:"bench/micro.ml")
+
+let test_allow_rejects_unknown_rule () =
+  check_bool "unknown rule id fails parse" true
+    (match Lint.Allow.parse ~known:Lint.Rules.rule_ids "R9 lib/\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- golden JSON ------------------------------------------------------ *)
+
+let test_golden_json_report () =
+  let findings =
+    lint ~path:"lib/core/fixture.ml"
+      "let now () = Unix.gettimeofday ()\nlet count = ref 0\n"
+  in
+  let golden =
+    {|{"tool":"intersect-lint","files":1,"count":2,"findings":[{"rule":"R1","file":"lib/core/fixture.ml","line":1,"col":13,"message":"Unix.gettimeofday: wall-clock reads are nondeterministic; use the trace's event clock, or allowlist bench-only timing"},{"rule":"R2","file":"lib/core/fixture.ml","line":2,"col":0,"message":"top-level ref is ambient mutable state; keep it behind Obsv's Domain-local wrappers or pass it explicitly"}]}|}
+  in
+  check_str "golden report" golden
+    (Stats.Json.to_string (Lint.Finding.report_json ~files:1 findings))
+
+(* --- the repository itself ------------------------------------------- *)
+
+(* Tests run from _build/default/test; the tree above it carries every
+   source file (declared via source_tree deps in test/dune). *)
+let repo_root = ".."
+
+let test_repo_lints_clean () =
+  match Lint.Driver.run ~root:repo_root () with
+  | Error e -> Alcotest.fail e
+  | Ok { Lint.Driver.files; findings } ->
+      check_bool "scanned a real tree" true (files > 100);
+      check_str "no findings"
+        ""
+        (String.concat "\n" (List.map Lint.Finding.to_line findings))
+
+let test_repo_report_deterministic () =
+  let render () =
+    match Lint.Driver.run ~root:repo_root () with
+    | Error e -> Alcotest.fail e
+    | Ok { Lint.Driver.files; findings } ->
+        Stats.Json.to_string (Lint.Finding.report_json ~files findings)
+  in
+  check_str "byte-identical consecutive runs" (render ()) (render ())
+
+let test_phase_registry_is_sorted_and_unique () =
+  let all = Obsv.Phases.all in
+  check_bool "sorted" true (List.sort String.compare all = all);
+  check "unique" (List.length all) (List.length (List.sort_uniq String.compare all));
+  check_bool "unattributed registered" true (Obsv.Phases.mem Obsv.Phases.unattributed)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "R1 determinism",
+        [
+          Alcotest.test_case "flags ambient randomness" `Quick test_r1_flags_ambient_randomness;
+          Alcotest.test_case "open Random" `Quick test_r1_open_random;
+          Alcotest.test_case "Stdlib qualifier" `Quick test_r1_stdlib_qualifier_is_stripped;
+          Alcotest.test_case "exempt in lib/prng" `Quick test_r1_exempt_in_prng;
+          Alcotest.test_case "conforming" `Quick test_r1_conforming;
+        ] );
+      ( "R2 ambient state",
+        [
+          Alcotest.test_case "flags top-level mutable" `Quick test_r2_flags_toplevel_mutable;
+          Alcotest.test_case "function-local passes" `Quick test_r2_function_local_state_passes;
+          Alcotest.test_case "exempt in lib/obsv" `Quick test_r2_exempt_in_obsv;
+        ] );
+      ( "R3 phase registry",
+        [
+          Alcotest.test_case "unregistered literal" `Quick test_r3_flags_unregistered_span_literal;
+          Alcotest.test_case "registered literal" `Quick test_r3_registered_literal_passes;
+          Alcotest.test_case "Phases constant" `Quick test_r3_constant_passes;
+          Alcotest.test_case "custom registry" `Quick test_r3_custom_registry;
+        ] );
+      ( "R4 domain hygiene",
+        [
+          Alcotest.test_case "flags outside engine" `Quick test_r4_flags_domain_outside_engine;
+          Alcotest.test_case "exempt in engine/obsv" `Quick test_r4_exempt_in_engine_and_obsv;
+          Alcotest.test_case "benign Domain reads" `Quick test_r4_join_alone_passes;
+        ] );
+      ( "R5 interfaces",
+        [ Alcotest.test_case "missing .mli" `Quick test_r5_missing_mli ] );
+      ( "syntax",
+        [ Alcotest.test_case "parse errors are findings" `Quick test_syntax_error_is_a_finding ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "parse and match" `Quick test_allow_parse_and_match;
+          Alcotest.test_case "unknown rule rejected" `Quick test_allow_rejects_unknown_rule;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "golden json" `Quick test_golden_json_report;
+          Alcotest.test_case "repo lints clean" `Quick test_repo_lints_clean;
+          Alcotest.test_case "deterministic report" `Quick test_repo_report_deterministic;
+          Alcotest.test_case "phase registry sorted" `Quick test_phase_registry_is_sorted_and_unique;
+        ] );
+    ]

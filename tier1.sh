@@ -1,15 +1,29 @@
 #!/bin/sh
-# Tier-1 gate: full build + test suite, a seconds-scale soak smoke of the
-# resilient wrapper against adversarial channels (exits non-zero if any
-# cell violates the paper's error bound), and an observability smoke: the
-# trace subcommand must emit valid JSON and the profile subcommand must
-# account for every metered bit (it exits non-zero on a phase-sum
-# mismatch).
+# Tier-1 gate: static analysis, full build + test suite, a seconds-scale
+# soak smoke of the resilient wrapper against adversarial channels (exits
+# non-zero if any cell violates the paper's error bound), and an
+# observability smoke: the trace subcommand must emit valid JSON and the
+# profile subcommand must account for every metered bit (it exits
+# non-zero on a phase-sum mismatch).
 set -eu
 cd "$(dirname "$0")"
 
 dune build
 dune runtest
+
+# Static invariant gate: the whole tree must lint clean (determinism,
+# ambient state, phase registry, domain hygiene, interface coverage —
+# rules R1..R5, see DESIGN.md "Static analysis"), the JSON report must be
+# loadable, and the linter must be deterministic: two consecutive --json
+# runs over the same tree are byte-identical.
+dune build @lint
+dune exec bin/intersect_lint.exe -- --json | ./_build/default/bin/json_check.exe
+lint_a=$(mktemp) && lint_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b"' EXIT
+dune exec bin/intersect_lint.exe -- --json > "$lint_a"
+dune exec bin/intersect_lint.exe -- --json > "$lint_b"
+cmp "$lint_a" "$lint_b"
+
 dune exec bench/soak.exe -- --smoke --trials 12
 
 dune exec bin/intersect_cli.exe -- trace --protocol bucket -k 64 --seed 1 \
@@ -21,7 +35,7 @@ dune exec bin/intersect_cli.exe -- profile --protocol bucket -k 64 --seed 1 > /d
 # contract — the soak report must be byte-identical at 1 and 2 domains.
 dune exec bin/intersect_cli.exe -- conform --smoke --domains 2 > /dev/null
 soak_d1=$(mktemp) && soak_d2=$(mktemp)
-trap 'rm -f "$soak_d1" "$soak_d2"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2"' EXIT
 dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 1 > "$soak_d1"
 dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 2 > "$soak_d2"
 cmp "$soak_d1" "$soak_d2"
