@@ -484,6 +484,131 @@ let soak_cmd =
       $ Arg.(value & opt int 20 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
       $ overlap_arg $ domains_arg)
 
+let bench_regress_cmd =
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale subset (k = 64 only, 2 trials).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the full JSON report to stdout.")
+  in
+  let deterministic_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic-json" ]
+          ~doc:
+            "Print only the seeded fields (bits, messages, rounds) as JSON; two runs of the \
+             same config must be byte-identical.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the full JSON report (the BENCH_hotpath.json shape).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a committed BENCH_hotpath.json: deterministic fields must match \
+             exactly; timings within tolerance.  Exit 1 on violation.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "tolerance" ] ~docv:"F"
+          ~doc:"Allowed fractional timing regression vs the baseline (0.5 allows 1.5x).")
+  in
+  let trials_arg =
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc:"Seeded trials per cell.")
+  in
+  let ks_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "k"; "set-size" ] ~docv:"K,K,..." ~doc:"Set-size sweep (comma-separated).")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "protocols" ] ~docv:"P,P,..."
+          ~doc:
+            ("Protocols to bench, comma-separated (default: all of "
+            ^ String.concat ", " Workload.Regress.protocol_names
+            ^ ")."))
+  in
+  let run smoke json deterministic out baseline tolerance seed trials ks protocols =
+    let base = if smoke then Workload.Regress.smoke else Workload.Regress.default in
+    let config =
+      {
+        base with
+        Workload.Regress.seed;
+        trials = Option.value trials ~default:base.Workload.Regress.trials;
+        ks = Option.value ks ~default:base.Workload.Regress.ks;
+        protocols = Option.value protocols ~default:base.Workload.Regress.protocols;
+      }
+    in
+    match Workload.Regress.run config with
+    | exception Invalid_argument m ->
+        prerr_endline ("bench-regress: " ^ m);
+        2
+    | report -> (
+        if deterministic then
+          print_endline
+            (Stats.Json.to_string_pretty (Workload.Regress.deterministic_json report))
+        else if json then
+          print_endline (Stats.Json.to_string_pretty (Workload.Regress.to_json report))
+        else print_string (Workload.Regress.summary report);
+        (match out with
+        | None -> ()
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc
+                  (Stats.Json.to_string_pretty (Workload.Regress.to_json report));
+                Out_channel.output_char oc '\n');
+            Printf.eprintf "wrote %s\n" path);
+        match baseline with
+        | None -> 0
+        | Some path -> (
+            let contents = In_channel.with_open_text path In_channel.input_all in
+            match Stats.Json.of_string contents with
+            | Error e ->
+                Printf.eprintf "bench-regress: cannot parse %s: %s\n" path e;
+                2
+            | Ok bjson -> (
+                match Workload.Regress.compare_baseline ~tolerance report bjson with
+                | Error e ->
+                    Printf.eprintf "bench-regress: %s\n" e;
+                    2
+                | Ok (compared, []) ->
+                    Printf.eprintf
+                      "baseline check: %d cell(s) compared, all within tolerance %.2f\n" compared
+                      tolerance;
+                    0
+                | Ok (compared, violations) ->
+                    Printf.eprintf "baseline check: %d cell(s) compared, %d violation(s):\n"
+                      compared (List.length violations);
+                    List.iter
+                      (fun v -> Printf.eprintf "  %s\n" (Workload.Regress.violation_message v))
+                      violations;
+                    1)))
+  in
+  Cmd.v
+    (Cmd.info "bench-regress"
+       ~doc:
+         "Hot-path performance regression bench: seeded end-to-end runs of every registered \
+          protocol measuring ns/run and allocation bytes/run, with exact (deterministic) bit, \
+          message and round counts.  With --baseline, enforces exact transcript fields and \
+          tolerance-bounded timings against a committed BENCH_hotpath.json.")
+    Term.(
+      const run $ smoke_arg $ json_arg $ deterministic_arg $ out_arg $ baseline_arg
+      $ tolerance_arg
+      $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+      $ trials_arg $ ks_arg $ protocols_arg)
+
 let conform_cmd =
   let smoke_arg =
     Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale configuration (k = 16, 25 trials).")
@@ -558,6 +683,7 @@ let () =
             disj_cmd;
             similarity_cmd;
             soak_cmd;
+            bench_regress_cmd;
             conform_cmd;
             trace_cmd;
             profile_cmd;

@@ -3,6 +3,12 @@
    tier-1 smoke to check that `intersect_cli trace` and `intersect_lint
    --json` emit loadable JSON without taking on a parser dependency.
 
+   With [--bench-hotpath], additionally validates the BENCH_hotpath.json
+   schema: a non-empty cell list where every cell names a protocol,
+   carries the deterministic fields (total_bits / messages / rounds, all
+   positive), reports positive timings, and the k values within each
+   protocol are strictly increasing (the sweep order the bench emits).
+
    The cursor lives inside [validate] (not at top level) so the module
    carries no ambient mutable state — intersect-lint rule R2 holds here
    like everywhere else. *)
@@ -138,12 +144,74 @@ let validate input =
     if !pos <> len then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok ()
   end
 
+let check_bench_hotpath input =
+  let module J = Stats.Json in
+  let fail msg = Error ("bench-hotpath schema: " ^ msg) in
+  let field name cell = Option.bind (J.member name cell) in
+  match J.of_string input with
+  | Error msg -> fail ("unparseable: " ^ msg)
+  | Ok doc -> (
+      if Option.bind (J.member "bench" doc) J.to_string_opt <> Some "hotpath" then
+        fail "missing \"bench\": \"hotpath\" marker"
+      else
+        match Option.bind (J.member "cells" doc) J.to_list_opt with
+        | None -> fail "missing \"cells\" list"
+        | Some [] -> fail "empty \"cells\" list"
+        | Some cells ->
+            let last_k = Hashtbl.create 16 in
+            let check_cell i cell =
+              let where msg = Printf.sprintf "cell %d: %s" i msg in
+              match Option.bind (J.member "protocol" cell) J.to_string_opt with
+              | None -> Error (where "missing \"protocol\"")
+              | Some protocol -> (
+                  let int_field name = field name cell J.to_int_opt in
+                  let float_field name = field name cell J.to_float_opt in
+                  match
+                    (int_field "k", float_field "ns_per_run", float_field "alloc_bytes_per_run")
+                  with
+                  | None, _, _ -> Error (where "missing \"k\"")
+                  | _, None, _ | _, _, None -> Error (where "missing timing fields")
+                  | Some k, Some ns, Some alloc ->
+                      if ns <= 0.0 || alloc < 0.0 then Error (where "non-positive timings")
+                      else if
+                        List.exists
+                          (fun name -> int_field name |> Option.fold ~none:true ~some:(fun v -> v <= 0))
+                          [ "total_bits"; "messages"; "rounds" ]
+                      then Error (where "deterministic fields missing or non-positive")
+                      else if Hashtbl.find_opt last_k protocol |> Option.fold ~none:false ~some:(fun prev -> k <= prev)
+                      then Error (where (Printf.sprintf "k not increasing for %S" protocol))
+                      else begin
+                        Hashtbl.replace last_k protocol k;
+                        Ok ()
+                      end)
+            in
+            List.to_seq cells
+            |> Seq.fold_lefti
+                 (fun acc i cell -> match acc with Error _ -> acc | Ok () -> check_cell i cell)
+                 (Ok ()))
+
 let () =
-  match validate (In_channel.input_all In_channel.stdin) with
+  let bench_hotpath =
+    match Sys.argv with
+    | [| _ |] -> false
+    | [| _; "--bench-hotpath" |] -> true
+    | _ ->
+        prerr_endline "usage: json_check [--bench-hotpath] < input.json";
+        exit 2
+  in
+  let input = In_channel.input_all In_channel.stdin in
+  match validate input with
   | exception Bad msg ->
       prerr_endline ("json_check: " ^ msg);
       exit 1
   | Error msg ->
       prerr_endline ("json_check: " ^ msg);
       exit 1
-  | Ok () -> exit 0
+  | Ok () ->
+      if not bench_hotpath then exit 0
+      else (
+        match check_bench_hotpath input with
+        | Ok () -> exit 0
+        | Error msg ->
+            prerr_endline ("json_check: " ^ msg);
+            exit 1)

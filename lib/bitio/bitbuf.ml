@@ -59,3 +59,12 @@ let append t bits =
 let contents t =
   let data = Bytes.sub t.data 0 ((t.length + 7) / 8) in
   Bits.unsafe_of_bytes data ~length:t.length
+
+(* The writer's invariant — every bit at index >= length is zero — is what
+   makes both [reset] (zero only the used prefix) and [view] (alias the
+   backing bytes directly) sound. *)
+let reset t =
+  Bytes.fill t.data 0 ((t.length + 7) / 8) '\000';
+  t.length <- 0
+
+let view t = Bits.unsafe_of_bytes t.data ~length:t.length

@@ -9,6 +9,7 @@ val create : ?capacity:int -> unit -> t
 (** Number of bits written so far. *)
 val length : t -> int
 
+(** Append a single bit. *)
 val write_bit : t -> bool -> unit
 
 (** [write_bits t ~width v] appends the [width] low bits of [v], least
@@ -19,5 +20,18 @@ val write_bits : t -> width:int -> int -> unit
 (** [append t bits] appends a whole bit vector. *)
 val append : t -> Bits.t -> unit
 
-(** Freeze the contents written so far.  The writer remains usable. *)
+(** Freeze the contents written so far (copies; the result is safe to keep).
+    The writer remains usable. *)
 val contents : t -> Bits.t
+
+(** [reset t] empties the writer without shrinking its backing storage, so
+    it can be reused for the next payload with no fresh allocation.  This
+    is the primitive behind {!Pool}. *)
+val reset : t -> unit
+
+(** [view t] is a zero-copy {!Bits.t} over the bits written so far.  The
+    view aliases the writer's storage: it is invalidated by any subsequent
+    [write_*], {!append} or {!reset} on [t].  Use it for transient reads
+    (e.g. {!Bitreader.of_bitbuf}); use {!contents} for payloads that
+    outlive the writer. *)
+val view : t -> Bits.t

@@ -4,6 +4,8 @@ exception Underflow
 
 let create bits = { bits; position = 0 }
 
+let of_bitbuf buf = { bits = Bitbuf.view buf; position = 0 }
+
 let position t = t.position
 
 let remaining t = Bits.length t.bits - t.position

@@ -5,7 +5,13 @@ type t
 exception Underflow
 (** Raised when reading past the end of the payload. *)
 
+(** [create bits] reads [bits] from the beginning. *)
 val create : Bits.t -> t
+
+(** [of_bitbuf buf] reads the bits written to [buf] so far without copying
+    them (a reader over {!Bitbuf.view}).  The reader is invalidated by any
+    subsequent write to or reset of [buf]. *)
+val of_bitbuf : Bitbuf.t -> t
 
 (** Bits consumed so far. *)
 val position : t -> int
@@ -13,6 +19,7 @@ val position : t -> int
 (** Bits left to read. *)
 val remaining : t -> int
 
+(** Consume and return the next bit. *)
 val read_bit : t -> bool
 
 (** [read_bits t ~width] reads [width] bits (least significant first) written

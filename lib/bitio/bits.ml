@@ -74,6 +74,13 @@ let concat a b =
     { data; length }
   end
 
+let flip b i =
+  if i < 0 || i >= b.length then invalid_arg "Bits.flip: index out of bounds";
+  let data = Bytes.sub b.data 0 (byte_count b.length) in
+  let j = i lsr 3 in
+  Bytes.set data j (Char.chr (Char.code (Bytes.get data j) lxor (1 lsl (i land 7))));
+  { data; length = b.length }
+
 let pp ppf b =
   Format.fprintf ppf "%d'" b.length;
   for i = 0 to min (b.length - 1) 63 do

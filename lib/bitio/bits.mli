@@ -7,6 +7,7 @@
 
 type t
 
+(** The zero-length bit vector. *)
 val empty : t
 
 (** [length b] is the number of bits in [b]. *)
@@ -39,6 +40,7 @@ val unsafe_of_bytes : bytes -> length:int -> t
 (** Underlying storage; never mutate the result. *)
 val bytes : t -> bytes
 
+(** Bitwise equality: same length, same bits. *)
 val equal : t -> t -> bool
 
 (** [key b] is a canonical string usable as a hashtable key: two bit vectors
@@ -48,4 +50,11 @@ val key : t -> string
 (** [concat a b] is [a] followed by [b]. *)
 val concat : t -> t -> t
 
+(** [flip b i] is [b] with bit [i] inverted (a fresh vector; [b] is
+    unchanged).  Raises [Invalid_argument] when [i] is out of bounds.
+    This is the single-bit-corruption primitive used by the adversarial
+    channels. *)
+val flip : t -> int -> t
+
+(** Renders the bits as a [01] string, most recent bit last. *)
 val pp : Format.formatter -> t -> unit

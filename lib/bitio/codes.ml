@@ -5,10 +5,15 @@ let bit_width v =
 
 let write_unary buf n =
   if n < 0 then invalid_arg "Codes.write_unary";
-  for _ = 1 to n do
-    Bitbuf.write_bit buf true
-  done;
-  Bitbuf.write_bit buf false
+  (* n ones then a zero is the (n+1)-bit value 2^n - 1, LSB first — one
+     bulk write instead of n+1 single-bit writes whenever it fits. *)
+  if n <= 61 then Bitbuf.write_bits buf ~width:(n + 1) ((1 lsl n) - 1)
+  else begin
+    for _ = 1 to n do
+      Bitbuf.write_bit buf true
+    done;
+    Bitbuf.write_bit buf false
+  end
 
 let read_unary r =
   let rec loop acc = if Bitreader.read_bit r then loop (acc + 1) else acc in
@@ -20,8 +25,16 @@ let write_gamma buf n =
   if n < 0 then invalid_arg "Codes.write_gamma";
   let m = n + 1 in
   let w = bit_width m in
-  write_unary buf (w - 1);
-  Bitbuf.write_bits buf ~width:(w - 1) (m land ((1 lsl (w - 1)) - 1))
+  if w <= 31 then
+    (* Whole codeword in one write: bits 0..w-2 are the unary prefix
+       (ones), bit w-1 the terminator (zero), bits w..2w-2 the low bits of
+       m.  2w-1 <= 61, inside write_bits' width bound. *)
+    Bitbuf.write_bits buf ~width:((2 * w) - 1)
+      (((1 lsl (w - 1)) - 1) lor ((m land ((1 lsl (w - 1)) - 1)) lsl w))
+  else begin
+    write_unary buf (w - 1);
+    Bitbuf.write_bits buf ~width:(w - 1) (m land ((1 lsl (w - 1)) - 1))
+  end
 
 let read_gamma r =
   let w = read_unary r + 1 in
@@ -71,11 +84,23 @@ let read_varint r =
   in
   loop 0 0
 
-let gamma_cost n = (2 * bit_width (n + 1)) - 1
+(* Cost tables for the small arguments that dominate the protocols' count
+   and gap streams.  Immutable and filled from the closed forms at module
+   init, so they are observationally pure (lint R2 concerns mutation, not
+   initialized lookup tables). *)
+let gamma_cost_exact n = (2 * bit_width (n + 1)) - 1
 
-let delta_cost n =
+let gamma_cost_table = Array.init 1024 gamma_cost_exact
+
+let gamma_cost n = if n >= 0 && n < 1024 then Array.unsafe_get gamma_cost_table n else gamma_cost_exact n
+
+let delta_cost_exact n =
   let w = bit_width (n + 1) in
   gamma_cost (w - 1) + (w - 1)
+
+let delta_cost_table = Array.init 1024 delta_cost_exact
+
+let delta_cost n = if n >= 0 && n < 1024 then Array.unsafe_get delta_cost_table n else delta_cost_exact n
 
 let rice_cost ~k n = (n lsr k) + 1 + k
 

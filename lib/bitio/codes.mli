@@ -12,17 +12,20 @@ val bit_width : int -> int
 (** Unary: [n] is written as [n] one bits followed by a zero ([n + 1] bits). *)
 val write_unary : Bitbuf.t -> int -> unit
 
+(** Decode one unary value, consuming through its terminating zero bit. *)
 val read_unary : Bitreader.t -> int
 
 (** Elias gamma code of [n >= 0] ([2 * bit_width (n+1) - 1] bits). *)
 val write_gamma : Bitbuf.t -> int -> unit
 
+(** Decode one gamma value written by {!write_gamma}. *)
 val read_gamma : Bitreader.t -> int
 
 (** Elias delta code of [n >= 0]; asymptotically
     [log n + O(log log n)] bits. *)
 val write_delta : Bitbuf.t -> int -> unit
 
+(** Decode one delta value written by {!write_delta}. *)
 val read_delta : Bitreader.t -> int
 
 (** Golomb–Rice with parameter [k]: quotient in unary, remainder in [k]
@@ -30,16 +33,26 @@ val read_delta : Bitreader.t -> int
     around [2^k]. *)
 val write_rice : Bitbuf.t -> k:int -> int -> unit
 
+(** Decode one Rice value; [k] must match the writer's parameter. *)
 val read_rice : Bitreader.t -> k:int -> int
 
 (** LEB128-style varint: 7 value bits + 1 continuation bit per group. *)
 val write_varint : Bitbuf.t -> int -> unit
 
+(** Decode one varint written by {!write_varint}. *)
 val read_varint : Bitreader.t -> int
 
-(** Number of bits each code spends on a value, without writing it. *)
+(** [gamma_cost n] is the exact bit count {!write_gamma} spends on [n],
+    without writing it (memoized for small [n]; costs feed round budgets
+    on protocol hot paths). *)
 val gamma_cost : int -> int
 
+(** Exact bit count of {!write_delta} on the argument (memoized for small
+    values, like {!gamma_cost}). *)
 val delta_cost : int -> int
+
+(** Exact bit count of {!write_rice} on the argument. *)
 val rice_cost : k:int -> int -> int
+
+(** Exact bit count of {!write_varint} on the argument. *)
 val varint_cost : int -> int

@@ -2,13 +2,13 @@
    (indices i = 1..k over the sorted elements). *)
 let rank set =
   let acc = ref Bignat.zero in
-  Array.iteri (fun i c -> acc := Bignat.add !acc (Bignat.binomial c (i + 1))) set;
+  Array.iteri (fun i c -> acc := Bignat.add !acc (Memo.binomial c (i + 1))) set;
   !acc
 
 let payload_bits ~universe ~k =
   if universe < 1 || universe >= 1 lsl 26 then
     invalid_arg "Enum_codec: universe must be below 2^26";
-  Bignat.bit_length (Bignat.binomial universe k)
+  Memo.binomial_bits ~n:universe ~k
 
 let cost ~universe ~k = Codes.gamma_cost k + payload_bits ~universe ~k
 
@@ -36,10 +36,10 @@ let read reader ~universe =
     let lo = ref (i - 1) and high = ref !hi in
     while !lo < !high do
       let mid = (!lo + !high + 1) / 2 in
-      if Bignat.compare (Bignat.binomial mid i) !r <= 0 then lo := mid else high := mid - 1
+      if Bignat.compare (Memo.binomial mid i) !r <= 0 then lo := mid else high := mid - 1
     done;
     out.(i - 1) <- !lo;
-    r := Bignat.sub !r (Bignat.binomial !lo i);
+    r := Bignat.sub !r (Memo.binomial !lo i);
     hi := !lo - 1
   done;
   out

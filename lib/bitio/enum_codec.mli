@@ -13,8 +13,11 @@
     Universes must stay below [2^26] (binomial factors must fit a bignum
     limb); larger ones raise [Invalid_argument]. *)
 
+(** Encode a sorted set as gamma cardinality plus its rank in exactly
+    [ceil (log2 (C(universe, k)))] bits. *)
 val write : Bitbuf.t -> universe:int -> int array -> unit
 
+(** Unrank a set written by {!write} with the same [universe]. *)
 val read : Bitreader.t -> universe:int -> int array
 
 (** Exact encoded size in bits for a k-subset of [\[0, n)]. *)

@@ -1,0 +1,48 @@
+(* Domain-local freelist of Bitbuf writers.
+
+   Hot protocol paths assemble many short-lived payloads; allocating a
+   fresh Bitbuf (and its backing bytes) per payload dominated their
+   allocation profile.  The pool hands out reset writers from a per-domain
+   freelist instead: acquisition pops, release resets and pushes.  Because
+   the freelist is Domain.DLS-local there is no cross-domain sharing and
+   no locking, and because a pooled buffer is always handed out reset, the
+   bits a caller writes — and therefore every transcript — are identical
+   to what a fresh buffer would produce.
+
+   The freelist is a LIFO list, so nested [with_buf] calls simply take
+   distinct buffers.  [bypassed] switches the current domain to fresh
+   allocation for the duration of a callback; the hot-path tests use it to
+   check pooled and unpooled runs byte-for-byte against each other. *)
+
+let freelist : Bitbuf.t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let bypass : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+(* Pooled buffers start at a payload-sized capacity so most cells never
+   regrow; a buffer that did grow keeps its larger storage for next time. *)
+let fresh () = Bitbuf.create ~capacity:1024 ()
+
+let with_buf f =
+  if !(Domain.DLS.get bypass) then f (fresh ())
+  else begin
+    let free = Domain.DLS.get freelist in
+    let buf =
+      match !free with
+      | [] -> fresh ()
+      | buf :: rest ->
+          free := rest;
+          buf
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Bitbuf.reset buf;
+        free := buf :: !free)
+      (fun () -> f buf)
+  end
+
+let payload f = with_buf (fun buf -> f buf; Bitbuf.contents buf)
+
+let bypassed f =
+  let flag = Domain.DLS.get bypass in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) f

@@ -18,9 +18,18 @@ val universe_width : int -> int
     elements in [\[0, universe)].  Raises [Invalid_argument] otherwise. *)
 val validate : universe:int -> int array -> unit
 
+(** Naive encoding: gamma cardinality, then each element in
+    [universe_width universe] bits. *)
 val write_fixed : Bitbuf.t -> universe:int -> int array -> unit
+
+(** Decode a set written by {!write_fixed} with the same [universe]. *)
 val read_fixed : Bitreader.t -> universe:int -> int array
+
+(** Gap encoding: gamma cardinality, then delta-coded successive gaps —
+    the [O(k log (n/k))]-bit set description (costed by {!gaps_cost}). *)
 val write_gaps : Bitbuf.t -> int array -> unit
+
+(** Decode a set written by {!write_gaps}. *)
 val read_gaps : Bitreader.t -> int array
 
 (** Cost in bits of {!write_gaps} without writing. *)

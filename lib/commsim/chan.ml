@@ -6,11 +6,7 @@ let of_endpoint ep ~peer =
     recv = (fun () -> Network.recv ep ~from_:peer);
   }
 
-let flip_payload payload bit =
-  Bitio.Bits.of_bools
-    (List.mapi
-       (fun i b -> if i = bit then not b else b)
-       (Bitio.Bits.to_bools payload))
+let flip_payload payload bit = Bitio.Bits.flip payload bit
 
 let tamper ?flip_bit ?drop_nth chan =
   let sent = ref 0 in

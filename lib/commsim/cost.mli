@@ -21,6 +21,7 @@ type t = {
   rounds : int;  (** longest dependency chain *)
 }
 
+(** A player tally with nothing sent or received. *)
 val zero_player : player
 
 (** [add_seq a b] is the cost of running the execution [a] followed by the
@@ -40,6 +41,7 @@ val max_player_bits : t -> int
     player" of Corollary 4.1 (counting each payload once, at the sender). *)
 val avg_player_bits : t -> float
 
+(** One-line [bits/messages/rounds] rendering. *)
 val pp : Format.formatter -> t -> unit
 
 (** {!pp} followed by one per-player [sent/received] line each. *)
@@ -51,4 +53,5 @@ val pp_breakdown : Format.formatter -> t -> unit
     them. *)
 val breakdown_columns : string list
 
+(** One row per player, aligned with {!breakdown_columns}. *)
 val breakdown_rows : t -> string list list

@@ -99,19 +99,23 @@ let merge a b =
 
 let truncate payload ~keep = Bitio.Bitreader.read_blob (Bitio.Bitreader.create payload) ~bits:keep
 
+(* One bernoulli draw per bit index, in order — the same draw sequence as
+   the historical to_bools/of_bools implementation — but damage is applied
+   by xor on a single byte copy taken only once a flip actually lands. *)
 let flip_bits rng ~p payload =
+  let n = Bitio.Bits.length payload in
   let flipped = ref 0 in
-  let bits =
-    List.map
-      (fun b ->
-        if Prng.Rng.bernoulli rng ~p then begin
-          incr flipped;
-          not b
-        end
-        else b)
-      (Bitio.Bits.to_bools payload)
-  in
-  if !flipped = 0 then (payload, 0) else (Bitio.Bits.of_bools bits, !flipped)
+  let data = ref Bytes.empty in
+  for i = 0 to n - 1 do
+    if Prng.Rng.bernoulli rng ~p then begin
+      if !flipped = 0 then data := Bytes.sub (Bitio.Bits.bytes payload) 0 ((n + 7) / 8);
+      incr flipped;
+      let j = i lsr 3 in
+      Bytes.set !data j (Char.chr (Char.code (Bytes.get !data j) lxor (1 lsl (i land 7))))
+    end
+  done;
+  if !flipped = 0 then (payload, 0)
+  else (Bitio.Bits.unsafe_of_bytes !data ~length:n, !flipped)
 
 let apply plan ~from_ ~to_ ~index payload =
   if plan.clean_ then (Deliver [ payload ], { zero_tally with deliveries = 1 })
@@ -124,7 +128,7 @@ let apply plan ~from_ ~to_ ~index payload =
     let rng =
       Prng.Rng.with_label
         (Prng.Rng.of_int plan.seed_)
-        (Printf.sprintf "faults/%d->%d/%d" from_ to_ index)
+        ("faults/" ^ string_of_int from_ ^ "->" ^ string_of_int to_ ^ "/" ^ string_of_int index)
     in
     if link.drop > 0.0 && Prng.Rng.bernoulli rng ~p:link.drop then
       (Drop, { zero_tally with dropped_messages = 1; dropped_bits = len })

@@ -29,6 +29,8 @@ val flipping : float -> link
 (** [dropping p] is {!clean_link} with drop rate [p]. *)
 val dropping : float -> link
 
+(** A seeded description of the channel's behaviour on every message of an
+    execution (see the module preamble). *)
 type plan
 
 (** The identity channel; {!apply} delivers every payload untouched. *)
@@ -42,7 +44,10 @@ val uniform : seed:int -> link -> plan
     be pure.  Rates are validated when the link is first used. *)
 val make : seed:int -> (from_:int -> to_:int -> link) -> plan
 
+(** Does this plan inject no faults on any link? *)
 val is_clean : plan -> bool
+
+(** The seed the plan's noise derives from. *)
 val seed : plan -> int
 
 (** [reseed plan ~salt] is [plan] with a seed derived deterministically from
@@ -70,25 +75,31 @@ type tally = {
   dropped_bits : int;  (** bits of payload that never arrived *)
 }
 
+(** The empty tally (unit of {!add_tally}). *)
 val zero_tally : tally
+
+(** Field-wise sum of two tallies. *)
 val add_tally : tally -> tally -> tally
 
 (** Did this tally record any injected fault (flip/truncation/dup/drop)? *)
 val tally_is_clean : tally -> bool
 
+(** Human-readable rendering of the non-zero tally fields. *)
 val pp_tally : Format.formatter -> tally -> unit
 
 (** Per-directed-link tallies of one execution: [links.(from_).(to_)]. *)
 type tallies = { links : tally array array }
 
+(** All-zero tallies for a [players]-party execution. *)
 val create_tallies : players:int -> tallies
 
 (** Aggregate over all links. *)
 val total : tallies -> tally
 
-(** Aggregates over the links leaving / reaching one player. *)
+(** Aggregate over the links leaving one player. *)
 val outgoing : tallies -> int -> tally
 
+(** Aggregate over the links reaching one player. *)
 val incoming : tallies -> int -> tally
 
 (** [merge a b] adds the tallies link-wise (same player count). *)

@@ -5,7 +5,7 @@ let tag_bits ~m ~failure =
   let failure_bits = int_of_float (Float.ceil (-.log failure /. log 2.0)) in
   max 4 (pair_bits + failure_bits)
 
-let write_tags buf fn set = Array.iter (fun x -> Bitio.Bitbuf.append buf (Strhash.apply_int fn x)) set
+let write_tags buf fn set = Array.iter (fun x -> Strhash.write_int fn buf x) set
 
 let read_tag_keys reader ~bits ~count =
   let table = Hashtbl.create (2 * count) in
@@ -37,11 +37,7 @@ let run rng ~failure chan ~first mine =
   let m = my_size + their_size in
   let bits = tag_bits ~m ~failure in
   let fn = Strhash.create (Prng.Rng.with_label rng "basic-intersection/fn") ~bits in
-  let my_tags =
-    let buf = Bitio.Bitbuf.create () in
-    write_tags buf fn mine;
-    Bitio.Bitbuf.contents buf
-  in
+  let my_tags = Bitio.Pool.payload (fun buf -> write_tags buf fn mine) in
   Obsv.Metrics.observe "bi/tag_bits" bits;
   let their_tags =
     Obsv.Trace.span Obsv.Phases.bi_tags ~attrs:[ ("bits", string_of_int bits) ] (fun () ->

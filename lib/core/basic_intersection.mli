@@ -37,6 +37,7 @@ val filter_by_tags : Strhash.fn -> (string, unit) Hashtbl.t -> Iset.t -> Iset.t
     generators in identical states. *)
 val run_alice : Prng.Rng.t -> failure:float -> Commsim.Chan.t -> Iset.t -> Iset.t
 
+(** Bob's side of {!run_alice}; same [failure] and generator contract. *)
 val run_bob : Prng.Rng.t -> failure:float -> Commsim.Chan.t -> Iset.t -> Iset.t
 
 (** Protocol record (runs the standalone form; sandwich contract holds). *)

@@ -29,9 +29,7 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
   in
   let width = Bitio.Set_codec.universe_width n_reduced in
   let encode_image image =
-    let buf = Bitio.Bitbuf.create ~capacity:width () in
-    Bitio.Bitbuf.write_bits buf ~width image;
-    Bitio.Bitbuf.contents buf
+    Bitio.Pool.payload (fun buf -> Bitio.Bitbuf.write_bits buf ~width image)
   in
   (* Draw buckets, exchange counts; retry together if the pair count is
      extreme (both parties see the same counts, so they stay in lockstep). *)
@@ -39,15 +37,13 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
     if attempt > 0 then Obsv.Metrics.incr "bucket/retries";
     let h =
       Hashing.Carter_wegman.create
-        (Prng.Rng.with_label rng (Printf.sprintf "bucket/assign/%d" attempt))
+        (Prng.Rng.with_label rng ("bucket/assign/" ^ string_of_int attempt))
         ~universe:n_reduced ~range:k
     in
     let buckets = Iset.partition_by (Hashing.Carter_wegman.hash h) ~bins:k images in
     let my_counts = Array.map Array.length buckets in
     let counts_msg =
-      let buf = Bitio.Bitbuf.create () in
-      Array.iter (Bitio.Codes.write_gamma buf) my_counts;
-      Bitio.Bitbuf.contents buf
+      Bitio.Pool.payload (fun buf -> Array.iter (Bitio.Codes.write_gamma buf) my_counts)
     in
     let their_counts =
       let read payload =
@@ -78,7 +74,9 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
   Array.iteri
     (fun i bucket ->
       (* Canonical instance order, identical on both sides: bucket index,
-         then Alice's rank, then Bob's rank. *)
+         then Alice's rank, then Bob's rank.  Each element is encoded once
+         and the same payload value reused across its cross-product row. *)
+      let encoded = Array.map encode_image bucket in
       let s_count, t_count =
         match role with
         | `Alice -> (Array.length bucket, their_counts.(i))
@@ -87,7 +85,7 @@ let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
       for a = 0 to s_count - 1 do
         for b = 0 to t_count - 1 do
           let my_rank = match role with `Alice -> a | `Bob -> b in
-          instances := encode_image bucket.(my_rank) :: !instances;
+          instances := encoded.(my_rank) :: !instances;
           owners := bucket.(my_rank) :: !owners
         done
       done)

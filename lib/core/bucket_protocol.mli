@@ -31,4 +31,6 @@ val run_party :
   Iset.t ->
   Iset.t
 
+(** Protocol record over {!run_party}; [k] (default 64) sizes the bucket
+    table, [sequential] and [reduce] as in {!run_party}. *)
 val protocol : ?sequential:bool -> ?reduce:bool -> ?k:int -> unit -> Protocol.t

@@ -37,5 +37,7 @@ val hw :
   Iset.t ->
   outcome
 
+(** Decide disjointness by running any intersection protocol and testing
+    the candidates for emptiness (the reduction of Corollary 3.2). *)
 val via_intersection :
   Protocol.t -> Prng.Rng.t -> universe:int -> Iset.t -> Iset.t -> outcome

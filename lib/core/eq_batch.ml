@@ -10,49 +10,47 @@ let default_max_iterations = 40
 
 type group = { gid : int; mutable undecided : int list }
 
-let length_prefixed instances idxs =
-  let buf = Bitio.Bitbuf.create () in
+let length_prefixed_into buf instances idxs =
   List.iter
     (fun idx ->
       Bitio.Codes.write_gamma buf (Bitio.Bits.length instances.(idx));
       Bitio.Bitbuf.append buf instances.(idx))
-    idxs;
-  Bitio.Bitbuf.contents buf
+    idxs
+
+let length_prefixed instances idxs =
+  Bitio.Pool.payload (fun buf -> length_prefixed_into buf instances idxs)
 
 let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng chan instances =
   let open Commsim.Chan in
   let k = Array.length instances in
   let status = Array.make k `Undecided in
   let jbits = joint_bits ~k in
-  let instance_tag ~gid ~iteration ~idx ~bits =
-    let label = Printf.sprintf "eqb/g%d/t%d/i%d" gid iteration idx in
-    Strhash.tag (Prng.Rng.with_label rng label) ~bits instances.(idx)
+  (* Both parties derive the same tag function from the shared rng and the
+     same label (plain concatenation: same strings the sprintf versions
+     produced, without the format machinery on the hot path). *)
+  let instance_fn ~gid ~iteration ~idx ~bits =
+    let label =
+      "eqb/g" ^ string_of_int gid ^ "/t" ^ string_of_int iteration ^ "/i" ^ string_of_int idx
+    in
+    Strhash.create (Prng.Rng.with_label rng label) ~bits
   in
-  let joint_tag ~gid ~iteration idxs =
-    let label = Printf.sprintf "eqb/joint/g%d/t%d" gid iteration in
-    Strhash.tag (Prng.Rng.with_label rng label) ~bits:jbits (length_prefixed instances idxs)
+  let joint_fn ~gid ~iteration =
+    let label = "eqb/joint/g" ^ string_of_int gid ^ "/t" ^ string_of_int iteration in
+    Strhash.create (Prng.Rng.with_label rng label) ~bits:jbits
   in
   (* Exchange of one tag vector: Alice ships her tags, Bob replies with the
      positions whose tags differ from his own.  Returns the shared mismatch
-     bitmap (in the order of [entries]). *)
-  let tag_round entries ~tag_of =
+     bitmap (in the order of [entries]).  [emit] appends one entry's tag to
+     the outgoing buffer; [check] consumes the peer's tag for one entry
+     from the reader and says whether it matches this side's. *)
+  let tag_round entries ~emit ~check =
     match role with
     | Alice ->
-        let buf = Bitio.Bitbuf.create () in
-        List.iter (fun entry -> Bitio.Bitbuf.append buf (tag_of entry)) entries;
-        chan.send (Bitio.Bitbuf.contents buf);
+        chan.send (Bitio.Pool.payload (fun buf -> List.iter (emit buf) entries));
         Wire.read_bitmap_msg (chan.recv ()) ~width:(List.length entries)
     | Bob ->
         let reader = Bitio.Bitreader.create (chan.recv ()) in
-        let mismatches =
-          Array.of_list
-            (List.map
-               (fun entry ->
-                 let mine = tag_of entry in
-                 let theirs = Bitio.Bitreader.read_blob reader ~bits:(Bitio.Bits.length mine) in
-                 not (Bitio.Bits.equal mine theirs))
-               entries)
-        in
+        let mismatches = Array.of_list (List.map (fun e -> not (check reader e)) entries) in
         chan.send (Wire.bitmap_msg mismatches);
         mismatches
   in
@@ -101,8 +99,11 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
         in
         let mismatches =
           Obsv.Trace.span Obsv.Phases.eq_tags (fun () ->
-              tag_round entries ~tag_of:(fun (gid, idx) ->
-                  instance_tag ~gid ~iteration:!iteration ~idx ~bits))
+              let fn (gid, idx) = instance_fn ~gid ~iteration:!iteration ~idx ~bits in
+              tag_round entries
+                ~emit:(fun buf ((_, idx) as e) -> Strhash.write (fn e) buf instances.(idx))
+                ~check:(fun reader ((_, idx) as e) ->
+                  Strhash.matches (fn e) reader instances.(idx)))
         in
         (* Settle mismatching instances; remember which groups stayed clean. *)
         let dirty = Hashtbl.create 8 in
@@ -123,11 +124,19 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
           Obsv.Metrics.incr "eq/joint_checks";
           let passed =
             Obsv.Trace.span Obsv.Phases.eq_joint (fun () ->
-                tag_round
-                  (List.map (fun g -> (g.gid, -1)) candidates)
-                  ~tag_of:(fun (gid, _) ->
-                    let g = List.find (fun g -> g.gid = gid) candidates in
-                    joint_tag ~gid ~iteration:!iteration g.undecided))
+                (* The joint payload is assembled in a scratch writer and
+                   hashed through its zero-copy view; only the jbits-wide
+                   tag reaches the wire. *)
+                let with_joint g f =
+                  Bitio.Pool.with_buf (fun tmp ->
+                      length_prefixed_into tmp instances g.undecided;
+                      f (joint_fn ~gid:g.gid ~iteration:!iteration) (Bitio.Bitbuf.view tmp))
+                in
+                tag_round candidates
+                  ~emit:(fun buf g ->
+                    with_joint g (fun fn payload -> Strhash.write fn buf payload))
+                  ~check:(fun reader g ->
+                    with_joint g (fun fn payload -> Strhash.matches fn reader payload)))
           in
           (* [mismatch = false] means the joint tags agreed: declare equal. *)
           List.iteri

@@ -37,6 +37,7 @@ val run_alice :
   Bitio.Bits.t array ->
   bool array
 
+(** Bob's side of {!run_alice}; same options and generator contract. *)
 val run_bob :
   ?sequential:bool ->
   ?max_iterations:int ->

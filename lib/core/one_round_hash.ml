@@ -13,10 +13,10 @@ let protocol ?(confidence = 4) () =
         let bits = tag_bits ~k ~confidence in
         let fn () = Strhash.create (Prng.Rng.with_label rng "one-round/fn") ~bits in
         let send_tags chan fn mine =
-          let buf = Bitio.Bitbuf.create () in
-          Bitio.Codes.write_gamma buf (Array.length mine);
-          Basic_intersection.write_tags buf fn mine;
-          chan.Commsim.Chan.send (Bitio.Bitbuf.contents buf)
+          chan.Commsim.Chan.send
+            (Bitio.Pool.payload (fun buf ->
+                 Bitio.Codes.write_gamma buf (Array.length mine);
+                 Basic_intersection.write_tags buf fn mine))
         in
         let receive_and_filter chan fn mine =
           let reader = Bitio.Bitreader.create (chan.Commsim.Chan.recv ()) in

@@ -42,6 +42,7 @@
     labels, so a retry re-synchronizes the parties from scratch. *)
 type party = Prng.Rng.t -> universe:int -> Iset.t -> Commsim.Chan.t -> Iset.t
 
+(** A named pair of parties the resilient wrapper can retry. *)
 type base = { name : string; alice : party; bob : party }
 
 (** The deterministic exchange ({!Trivial.protocol}) as a base. *)

@@ -65,14 +65,19 @@ let fingerprint fn payload =
   done;
   !acc
 
-let tag_of_value fn v =
-  let buf = Bitio.Bitbuf.create ~capacity:fn.bits () in
+(* Write the tag of the collapsed value [v] straight into [buf]: same bits
+   as freezing a private Bitbuf, without the intermediate allocation. *)
+let write_value fn buf v =
   List.iter
     (fun lane ->
       let h = reduce (mul61 lane.a v + lane.b) in
       (* low [width] bits of a near-uniform value mod p *)
       Bitio.Bitbuf.write_bits buf ~width:lane.width (h land ((1 lsl lane.width) - 1)))
-    fn.lanes;
+    fn.lanes
+
+let tag_of_value fn v =
+  let buf = Bitio.Bitbuf.create ~capacity:fn.bits () in
+  write_value fn buf v;
   Bitio.Bitbuf.contents buf
 
 let apply fn payload = tag_of_value fn (fingerprint fn payload)
@@ -80,6 +85,25 @@ let apply fn payload = tag_of_value fn (fingerprint fn payload)
 let apply_int fn x =
   if x < 0 || x lsr 60 <> 0 then invalid_arg "Strhash.apply_int: out of range";
   tag_of_value fn x
+
+let write fn buf payload = write_value fn buf (fingerprint fn payload)
+
+let write_int fn buf x =
+  if x < 0 || x lsr 60 <> 0 then invalid_arg "Strhash.write_int: out of range";
+  write_value fn buf x
+
+(* Compare lane by lane against bits consumed from [reader].  Every lane
+   is read even after a mismatch so the reader always advances by exactly
+   [fn.bits], mirroring what a read_blob + Bits.equal round trip did. *)
+let matches_value fn reader v =
+  List.fold_left
+    (fun ok lane ->
+      let h = reduce (mul61 lane.a v + lane.b) in
+      let theirs = Bitio.Bitreader.read_bits reader ~width:lane.width in
+      ok && theirs = h land ((1 lsl lane.width) - 1))
+    true fn.lanes
+
+let matches fn reader payload = matches_value fn reader (fingerprint fn payload)
 
 let tag rng ~bits payload = apply (create rng ~bits) payload
 

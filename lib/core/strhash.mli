@@ -21,6 +21,7 @@ type fn
     supported (wide tags use several lanes). *)
 val create : Prng.Rng.t -> bits:int -> fn
 
+(** Tag width in bits, as requested at {!create}. *)
 val bits : fn -> int
 
 (** Tag of a bit string. *)
@@ -29,7 +30,23 @@ val apply : fn -> Bitio.Bits.t -> Bitio.Bits.t
 (** Tag of an integer in [\[0, 2^60)]. *)
 val apply_int : fn -> int -> Bitio.Bits.t
 
+(** [write fn buf payload] appends [apply fn payload] directly to [buf] —
+    the same [bits fn] bits, with no intermediate tag allocation.  The
+    allocation-lean path for assembling tag vectors. *)
+val write : fn -> Bitio.Bitbuf.t -> Bitio.Bits.t -> unit
+
+(** [write_int fn buf x] appends [apply_int fn x] directly to [buf]. *)
+val write_int : fn -> Bitio.Bitbuf.t -> int -> unit
+
+(** [matches fn reader payload] consumes exactly [bits fn] bits from
+    [reader] (a peer's tag, as written by {!write} or {!apply}) and tests
+    them against this side's tag of [payload], without materialising
+    either tag.  The reader advances fully even on a mismatch, so framing
+    is position-identical to a read-then-compare round trip. *)
+val matches : fn -> Bitio.Bitreader.t -> Bitio.Bits.t -> bool
+
 (** One-shot conveniences (draw the function and apply it). *)
 val tag : Prng.Rng.t -> bits:int -> Bitio.Bits.t -> Bitio.Bits.t
 
+(** One-shot {!apply_int} (draw the function and tag the integer). *)
 val tag_int : Prng.Rng.t -> bits:int -> int -> Bitio.Bits.t

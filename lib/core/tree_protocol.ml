@@ -61,10 +61,17 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
     let eq_bits = match flat_eq_bits with Some b -> max 2 b | None -> stage_eq_bits fl in
     let failure = stage_failure fl in
     let nodes = tree.Vtree.levels.(stage) in
-    let node_tag vi node =
-      let payload = Wire.of_sets (List.map (fun u -> assign.(u)) (Vtree.leaves node)) in
-      let label = Printf.sprintf "tree/eq/s%d/v%d" stage vi in
-      Strhash.tag (Prng.Rng.with_label rng label) ~bits:eq_bits payload
+    let node_fn vi =
+      let label = "tree/eq/s" ^ string_of_int stage ^ "/v" ^ string_of_int vi in
+      Strhash.create (Prng.Rng.with_label rng label) ~bits:eq_bits
+    in
+    (* The node's payload (its leaves' gap-coded buckets, as Wire.of_sets
+       laid them out) is assembled in a scratch writer and hashed through
+       the zero-copy view; only the eq_bits-wide tag reaches the wire. *)
+    let with_node_payload node f =
+      Bitio.Pool.with_buf (fun tmp ->
+          List.iter (fun u -> Bitio.Set_codec.write_gaps tmp assign.(u)) (Vtree.leaves node);
+          f (Bitio.Bitbuf.view tmp))
     in
     (* Stage messages 1-2: batched equality tests at level L_stage.  Bob
        replies with the failed-node bitmap plus his bucket sizes under the
@@ -76,9 +83,13 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
         (fun () ->
           match role with
           | `Alice ->
-          let buf = Bitio.Bitbuf.create () in
-          Array.iteri (fun vi node -> Bitio.Bitbuf.append buf (node_tag vi node)) nodes;
-          chan.send (Bitio.Bitbuf.contents buf);
+          chan.send
+            (Bitio.Pool.payload (fun buf ->
+                 Array.iteri
+                   (fun vi node ->
+                     with_node_payload node (fun payload ->
+                         Strhash.write (node_fn vi) buf payload))
+                   nodes));
           let reader = Bitio.Bitreader.create (chan.recv ()) in
           let failed =
             Array.init (Array.length nodes) (fun _ -> Bitio.Bitreader.read_bit reader)
@@ -95,8 +106,8 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
           let failed =
             Array.mapi
               (fun vi node ->
-                let theirs = Bitio.Bitreader.read_blob reader ~bits:eq_bits in
-                not (Bitio.Bits.equal theirs (node_tag vi node)))
+                with_node_payload node (fun payload ->
+                    not (Strhash.matches (node_fn vi) reader payload)))
               nodes
           in
           let failed_leaves =
@@ -104,10 +115,12 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
             |> List.mapi (fun vi node -> if failed.(vi) then Vtree.leaves node else [])
             |> List.concat
           in
-          let buf = Bitio.Bitbuf.create () in
-          Array.iter (Bitio.Bitbuf.write_bit buf) failed;
-          List.iter (fun u -> Bitio.Codes.write_gamma buf (Array.length assign.(u))) failed_leaves;
-          chan.send (Bitio.Bitbuf.contents buf);
+          chan.send
+            (Bitio.Pool.payload (fun buf ->
+                 Array.iter (Bitio.Bitbuf.write_bit buf) failed;
+                 List.iter
+                   (fun u -> Bitio.Codes.write_gamma buf (Array.length assign.(u)))
+                   failed_leaves));
           (failed_leaves, List.map (fun u -> Array.length assign.(u)) failed_leaves))
     in
     (* Stage messages 3-4: batched Basic-Intersection re-runs on every leaf
@@ -117,7 +130,7 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
     if failed_leaves <> [] then begin
       Obsv.Metrics.incr ~by:(List.length failed_leaves) "tree/failed_leaves";
       let leaf_fn u m =
-        let label = Printf.sprintf "tree/bi/leaf%d/run%d" u rerun.(u) in
+        let label = "tree/bi/leaf" ^ string_of_int u ^ "/run" ^ string_of_int rerun.(u) in
         let bits = Basic_intersection.tag_bits ~m ~failure in
         Strhash.create (Prng.Rng.with_label rng label) ~bits
       in
@@ -125,18 +138,21 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
       match role with
       | `Alice ->
           let sizes = List.combine failed_leaves their_sizes in
-          let buf = Bitio.Bitbuf.create () in
-          let fns =
-            List.map
-              (fun (u, their_size) ->
-                let m = Array.length assign.(u) + their_size in
-                let fn = leaf_fn u m in
-                Bitio.Codes.write_gamma buf (Array.length assign.(u));
-                Basic_intersection.write_tags buf fn assign.(u);
-                (u, their_size, fn))
-              sizes
+          let msg, fns =
+            Bitio.Pool.with_buf (fun buf ->
+                let fns =
+                  List.map
+                    (fun (u, their_size) ->
+                      let m = Array.length assign.(u) + their_size in
+                      let fn = leaf_fn u m in
+                      Bitio.Codes.write_gamma buf (Array.length assign.(u));
+                      Basic_intersection.write_tags buf fn assign.(u);
+                      (u, their_size, fn))
+                    sizes
+                in
+                (Bitio.Bitbuf.contents buf, fns))
           in
-          chan.send (Bitio.Bitbuf.contents buf);
+          chan.send msg;
           let reader = Bitio.Bitreader.create (chan.recv ()) in
           List.iter
             (fun (u, their_size, fn) ->
@@ -147,19 +163,20 @@ let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine 
             fns
       | `Bob ->
           let reader = Bitio.Bitreader.create (chan.recv ()) in
-          let buf = Bitio.Bitbuf.create () in
-          List.iter
-            (fun u ->
-              let their_size = Bitio.Codes.read_gamma reader in
-              let m = Array.length assign.(u) + their_size in
-              let fn = leaf_fn u m in
-              let table =
-                Basic_intersection.read_tag_keys reader ~bits:(Strhash.bits fn) ~count:their_size
-              in
-              Basic_intersection.write_tags buf fn assign.(u);
-              assign.(u) <- Basic_intersection.filter_by_tags fn table assign.(u))
-            failed_leaves;
-          chan.send (Bitio.Bitbuf.contents buf));
+          chan.send
+            (Bitio.Pool.payload (fun buf ->
+                 List.iter
+                   (fun u ->
+                     let their_size = Bitio.Codes.read_gamma reader in
+                     let m = Array.length assign.(u) + their_size in
+                     let fn = leaf_fn u m in
+                     let table =
+                       Basic_intersection.read_tag_keys reader ~bits:(Strhash.bits fn)
+                         ~count:their_size
+                     in
+                     Basic_intersection.write_tags buf fn assign.(u);
+                     assign.(u) <- Basic_intersection.filter_by_tags fn table assign.(u))
+                   failed_leaves)));
       List.iter (fun u -> rerun.(u) <- rerun.(u) + 1) failed_leaves
     end
     done;

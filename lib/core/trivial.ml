@@ -30,9 +30,7 @@ let protocol_entropy =
       (fun _rng ~universe s t ->
         Protocol.validate_inputs ~universe s t;
         let encode set =
-          let buf = Bitio.Bitbuf.create () in
-          Bitio.Enum_codec.write buf ~universe set;
-          Bitio.Bitbuf.contents buf
+          Bitio.Pool.payload (fun buf -> Bitio.Enum_codec.write buf ~universe set)
         in
         let decode payload = Bitio.Enum_codec.read (Bitio.Bitreader.create payload) ~universe in
         let alice chan =

@@ -7,7 +7,7 @@ let run base ~bits ~max_attempts rng ~universe s t =
     invalid_arg "Verified.run: base protocol lacks the sandwich contract";
   if max_attempts < 1 then invalid_arg "Verified.run: max_attempts";
   let rec attempt i acc_cost =
-    let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "verified/attempt%d" i) in
+    let attempt_rng = Prng.Rng.with_label rng ("verified/attempt" ^ string_of_int i) in
     Obsv.Metrics.incr "verified/attempts";
     let outcome =
       Obsv.Trace.span Obsv.Phases.verified_attempt ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
@@ -32,7 +32,7 @@ type party_result = { candidate : Iset.t; attempts : int; verified : bool }
 
 let run_party role rng ~bits ~max_attempts chan ~party =
   let rec attempt i =
-    let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "attempt%d" i) in
+    let attempt_rng = Prng.Rng.with_label rng ("attempt" ^ string_of_int i) in
     let candidate =
       Obsv.Trace.span Obsv.Phases.verified_attempt ~attrs:[ ("attempt", string_of_int i) ] (fun () ->
           party attempt_rng chan)

@@ -11,6 +11,8 @@
 
 type node = { first_leaf : int; leaf_count : int }
 
+(** A built tree: [levels.(0)] is the [k] leaves, [levels.(r)] the root.
+    [private] so shapes only come from {!build}. *)
 type t = private { k : int; r : int; levels : node array array }
 
 (** [build ~k ~r] for [k >= 1], [r >= 1].  [levels] has [r + 1] entries;

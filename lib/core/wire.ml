@@ -1,17 +1,9 @@
-let of_set set =
-  let buf = Bitio.Bitbuf.create () in
-  Bitio.Set_codec.write_gaps buf set;
-  Bitio.Bitbuf.contents buf
+let of_set set = Bitio.Pool.payload (fun buf -> Bitio.Set_codec.write_gaps buf set)
 
 let of_sets sets =
-  let buf = Bitio.Bitbuf.create () in
-  List.iter (fun set -> Bitio.Set_codec.write_gaps buf set) sets;
-  Bitio.Bitbuf.contents buf
+  Bitio.Pool.payload (fun buf -> List.iter (fun set -> Bitio.Set_codec.write_gaps buf set) sets)
 
-let gamma_msg v =
-  let buf = Bitio.Bitbuf.create () in
-  Bitio.Codes.write_gamma buf v;
-  Bitio.Bitbuf.contents buf
+let gamma_msg v = Bitio.Pool.payload (fun buf -> Bitio.Codes.write_gamma buf v)
 
 let read_gamma_msg payload = Bitio.Codes.read_gamma (Bitio.Bitreader.create payload)
 
@@ -19,7 +11,8 @@ let bit_msg b = Bitio.Bits.of_bools [ b ]
 
 let read_bit_msg payload = Bitio.Bits.get payload 0
 
-let bitmap_msg flags = Bitio.Bits.of_bools (Array.to_list flags)
+let bitmap_msg flags =
+  Bitio.Pool.payload (fun buf -> Array.iter (Bitio.Bitbuf.write_bit buf) flags)
 
 let read_bitmap_msg payload ~width =
   if Bitio.Bits.length payload < width then invalid_arg "Wire.read_bitmap_msg";

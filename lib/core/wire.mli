@@ -8,14 +8,20 @@ val of_set : Iset.t -> Bitio.Bits.t
     under a tree node, in leaf order). *)
 val of_sets : Iset.t list -> Bitio.Bits.t
 
-(** One-value messages. *)
+(** A single Elias-gamma-coded integer as a whole message. *)
 val gamma_msg : int -> Bitio.Bits.t
 
+(** Decode a message written by {!gamma_msg}. *)
 val read_gamma_msg : Bitio.Bits.t -> int
+
+(** A one-bit message. *)
 val bit_msg : bool -> Bitio.Bits.t
+
+(** Decode a message written by {!bit_msg}. *)
 val read_bit_msg : Bitio.Bits.t -> bool
 
-(** Bitmap messages of a fixed, mutually known width. *)
+(** A [width]-bit bitmap as a whole message, [width] mutually known. *)
 val bitmap_msg : bool array -> Bitio.Bits.t
 
+(** Decode a message written by {!bitmap_msg} with the same [width]. *)
 val read_bitmap_msg : Bitio.Bits.t -> width:int -> bool array

@@ -4,15 +4,23 @@ let of_seed seed = { gen = Splitmix64.create seed; root = seed }
 
 let of_int n = of_seed (Int64.of_int n)
 
+(* FNV-1a over 64 bits, computed in two 32-bit native-int halves so the
+   per-character loop allocates nothing (Int64 arithmetic boxes every
+   intermediate; label hashing runs once per derived generator on protocol
+   hot paths).  The prime is 2^40 + 0x1B3, so
+   [h * prime = (h * 0x1B3) + (low24(h) << 40)  (mod 2^64)],
+   and each half-product stays below 2^41 — comfortably inside a native
+   int.  Bit-identical to the Int64 reference formulation. *)
 let fnv1a64 s =
-  let open Int64 in
-  let h = ref 0xCBF29CE484222325L in
+  let lo = ref 0x84222325 and hi = ref 0xCBF29CE4 in
   String.iter
     (fun c ->
-      h := logxor !h (of_int (Char.code c));
-      h := mul !h 0x100000001B3L)
+      let l = !lo lxor Char.code c in
+      let t = l * 0x1B3 in
+      lo := t land 0xFFFFFFFF;
+      hi := ((!hi * 0x1B3) + (t lsr 32) + ((l land 0xFFFFFF) lsl 8)) land 0xFFFFFFFF)
     s;
-  !h
+  Int64.logor (Int64.shift_left (Int64.of_int !hi) 32) (Int64.of_int !lo)
 
 let with_label t label =
   of_seed (Splitmix64.mix (Int64.logxor t.root (fnv1a64 label)))
@@ -21,10 +29,19 @@ let split t = of_seed (Splitmix64.next t.gen)
 
 let int64 t = Splitmix64.next t.gen
 
+(* The draws below take the top bits of the 64-bit output, assembled from
+   the generator's unboxed 32-bit halves so no Int64 is ever built on the
+   hot path.  Each is draw-for-draw identical to
+   [Int64.shift_right_logical (int64 t) (64 - width)]. *)
 let bits t ~width =
   if width < 0 || width > 62 then invalid_arg "Rng.bits: width";
   if width = 0 then 0
-  else Int64.to_int (Int64.shift_right_logical (int64 t) (64 - width))
+  else begin
+    Splitmix64.step t.gen;
+    let hi = Splitmix64.out_hi t.gen in
+    if width <= 32 then hi lsr (32 - width)
+    else (hi lsl (width - 32)) lor (Splitmix64.out_lo t.gen lsr (64 - width))
+  end
 
 let int t bound =
   if bound < 1 then invalid_arg "Rng.int: bound";
@@ -38,11 +55,14 @@ let int t bound =
     draw ()
   end
 
-let bool t = Int64.compare (int64 t) 0L < 0
+let bool t =
+  Splitmix64.step t.gen;
+  Splitmix64.out_hi t.gen lsr 31 = 1
 
 let float t =
   (* 53 uniform bits into [0, 1). *)
-  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  Splitmix64.step t.gen;
+  let v = (Splitmix64.out_hi t.gen lsl 21) lor (Splitmix64.out_lo t.gen lsr 11) in
   float_of_int v /. 9007199254740992.0
 
 let bernoulli t ~p =

@@ -9,5 +9,16 @@ val create : int64 -> t
 (** Next 64-bit output; advances the state. *)
 val next : t -> int64
 
+(** Advance the state one step without boxing the output; read the two
+    32-bit halves with {!out_hi} / {!out_lo}.  Draw-for-draw identical to
+    {!next}: [next t = (out_hi t << 32) | out_lo t] after the same step. *)
+val step : t -> unit
+
+(** High / low 32 bits of the output produced by the last {!step} (or
+    {!next}), as non-negative native ints below [2^32]. *)
+val out_hi : t -> int
+
+val out_lo : t -> int
+
 (** Stateless single-step mix, used for seed derivation. *)
 val mix : int64 -> int64

@@ -87,3 +87,194 @@ let render ~indent v =
 
 let to_string v = render ~indent:false v
 let to_string_pretty v = render ~indent:true v
+
+(* Recursive-descent parser for the same value space the emitter covers
+   (RFC 8259 minus \u surrogate pairing, which none of our reports emit).
+   Numbers parse as [Int] when they are integral and fit a native int,
+   [Float] otherwise, matching what the emitters above produce. *)
+
+exception Parse_error of string * int
+
+let of_string input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (msg, !pos)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while (match peek () with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let string_value () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'
+          | Some '/' -> advance (); Buffer.add_char buf '/'
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'
+          | Some 't' -> advance (); Buffer.add_char buf '\t'
+          | Some 'u' ->
+              advance ();
+              let code = ref 0 in
+              for _ = 1 to 4 do
+                (match peek () with
+                | Some ('0' .. '9' as c) -> code := (!code * 16) + (Char.code c - Char.code '0')
+                | Some ('a' .. 'f' as c) -> code := (!code * 16) + (Char.code c - Char.code 'a' + 10)
+                | Some ('A' .. 'F' as c) -> code := (!code * 16) + (Char.code c - Char.code 'A' + 10)
+                | _ -> fail "bad \\u escape");
+                advance ()
+              done;
+              (* UTF-8 encode the code point (no surrogate pairing). *)
+              if !code < 0x80 then Buffer.add_char buf (Char.chr !code)
+              else if !code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (!code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (!code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (!code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((!code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (!code land 0x3F)))
+              end
+          | _ -> fail "bad escape");
+          loop ()
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let number_value () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let n = ref 0 in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        advance ();
+        incr n
+      done;
+      if !n = 0 then fail "expected digit"
+    in
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "expected number");
+    let integral = ref true in
+    if peek () = Some '.' then begin
+      integral := false;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        integral := false;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let text = String.sub input start (!pos - start) in
+    if !integral then
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+    else Float (float_of_string text)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let key = string_value () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            fields := (key, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (string_value ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> number_value ()
+    | _ -> fail "expected a JSON value"
+  in
+  match value () with
+  | v ->
+      skip_ws ();
+      if !pos <> len then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok v
+  | exception Parse_error (msg, at) -> Error (Printf.sprintf "%s at byte %d" msg at)
+
+(* Access helpers for consumers that walk parsed reports. *)
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_list_opt = function List items -> Some items | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None

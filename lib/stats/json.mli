@@ -1,4 +1,4 @@
-(** Minimal JSON emission for machine-readable reports (no parser, no
+(** Minimal JSON emission and parsing for machine-readable reports (no
     dependencies).  Numbers that are not finite are emitted as [null] so
     the output is always valid JSON. *)
 
@@ -17,3 +17,21 @@ val to_string : t -> string
 (** Like {!to_string} with two-space indentation, for files meant to be
     read by humans too. *)
 val to_string_pretty : t -> string
+
+(** [of_string s] parses one JSON value (RFC 8259, minus surrogate-pair
+    [\u] escapes, which no report in this repository emits) followed only
+    by whitespace.  Integral numbers that fit a native [int] parse as
+    {!Int}; everything else numeric parses as {!Float}. *)
+val of_string : string -> (t, string) result
+
+(** [member key v] is field [key] of object [v] ([None] for missing keys
+    and non-objects). *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+
+(** {!Int} widens to float here, mirroring the emitter's number split. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option

@@ -1,0 +1,211 @@
+(* Hot-path optimization invariance tests.
+
+   The pooling (Bitio.Pool), codec caching (Bitio.Memo) and native-limb
+   PRNG paths are pure performance changes: every test here pins the
+   contract that they leave results, costs and wire bits exactly as the
+   unoptimized paths produce them — for all registered protocols, under
+   injected channel damage, and across domain counts. *)
+
+open Intersect
+
+let iset = Alcotest.testable Iset.pp Iset.equal
+let bits_t = Alcotest.testable Bitio.Bits.pp Bitio.Bits.equal
+let check_int = Alcotest.(check int)
+
+let universe = 1 lsl 16
+
+(* Both caches off: the pre-optimization execution path. *)
+let unoptimized f = Bitio.Pool.bypassed (fun () -> Bitio.Memo.bypassed f)
+
+let run_protocol ~name ~k =
+  let protocol = Workload.Regress.protocol_of ~name ~k in
+  let pair =
+    Workload.Setgen.pair_with_overlap
+      (Prng.Rng.of_int (1000 + (String.length name * 37) + k))
+      ~universe ~size_s:k ~size_t:k ~overlap:(k / 2)
+  in
+  protocol.Protocol.run (Prng.Rng.of_int 123) ~universe pair.Workload.Setgen.s
+    pair.Workload.Setgen.t
+
+(* Every registered protocol: pooled/cached vs bypassed runs must agree on
+   outputs and on every deterministic cost field. *)
+let test_registered_suite_bypass_identical () =
+  List.iter
+    (fun name ->
+      let k = 48 in
+      let baseline = unoptimized (fun () -> run_protocol ~name ~k) in
+      let optimized = run_protocol ~name ~k in
+      Alcotest.check iset (name ^ " alice") baseline.Protocol.alice optimized.Protocol.alice;
+      Alcotest.check iset (name ^ " bob") baseline.Protocol.bob optimized.Protocol.bob;
+      check_int (name ^ " bits") baseline.Protocol.cost.Commsim.Cost.total_bits
+        optimized.Protocol.cost.Commsim.Cost.total_bits;
+      check_int (name ^ " messages") baseline.Protocol.cost.Commsim.Cost.messages
+        optimized.Protocol.cost.Commsim.Cost.messages;
+      check_int (name ^ " rounds") baseline.Protocol.cost.Commsim.Cost.rounds
+        optimized.Protocol.cost.Commsim.Cost.rounds)
+    Workload.Regress.protocol_names
+
+(* Payload builders: the pooled writers must emit byte-identical wire bits
+   (not just equal costs). *)
+let test_wire_payloads_bit_identical () =
+  let set = [| 3; 17; 100; 4095; 65535 |] in
+  let iset_of a = Iset.of_array a in
+  let pooled = Wire.of_set (iset_of set) in
+  let plain = unoptimized (fun () -> Wire.of_set (iset_of set)) in
+  Alcotest.check bits_t "of_set" plain pooled;
+  Alcotest.check bits_t "gamma_msg" (unoptimized (fun () -> Wire.gamma_msg 777)) (Wire.gamma_msg 777);
+  let flags = Array.init 97 (fun i -> i mod 3 = 0) in
+  Alcotest.check bits_t "bitmap_msg" (unoptimized (fun () -> Wire.bitmap_msg flags))
+    (Wire.bitmap_msg flags)
+
+(* The binomial memo is invisible: cached coefficients and codec widths
+   equal the direct bignum computation, and the enumerative codec emits
+   identical bits with and without the cache. *)
+let test_memo_transparent () =
+  List.iter
+    (fun (n, k) ->
+      let cached = Bitio.Memo.binomial n k in
+      let direct = Bitio.Memo.bypassed (fun () -> Bitio.Memo.binomial n k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "C(%d,%d)" n k)
+        true
+        (Bitio.Bignat.equal direct cached);
+      check_int
+        (Printf.sprintf "bits C(%d,%d)" n k)
+        (Bitio.Memo.bypassed (fun () -> Bitio.Memo.binomial_bits ~n ~k))
+        (Bitio.Memo.binomial_bits ~n ~k))
+    [ (0, 0); (1, 0); (64, 32); (256, 17); (1024, 3); (4096, 2) ];
+  let set = Array.init 24 (fun i -> (i * 131) mod 4096) in
+  Array.sort compare set;
+  let encode () =
+    let buf = Bitio.Bitbuf.create ~capacity:256 () in
+    Bitio.Enum_codec.write buf ~universe:4096 set;
+    Bitio.Bitbuf.contents buf
+  in
+  Alcotest.check bits_t "enum codec" (unoptimized encode) (encode ())
+
+(* Injected channel damage: the soak harness drives Faults-damaged
+   executions end to end; its full report (including damage tallies and
+   per-cell outcomes) must not notice the caches. *)
+let test_faults_damage_bypass_identical () =
+  let report () =
+    Stats.Json.to_string (Workload.Soak.to_json (Workload.Soak.run ~domains:1 Workload.Soak.smoke))
+  in
+  let baseline = unoptimized report in
+  Alcotest.(check string) "soak report under damage" baseline (report ())
+
+(* Domain-parallel trials: the DLS-backed pool and memo are per-domain, so
+   running the same seeded trials on one or two domains must produce the
+   same per-trial costs. *)
+let test_domains_identical () =
+  let trial i =
+    let outcome = run_protocol ~name:"bucket" ~k:(32 + (4 * i)) in
+    ( outcome.Protocol.cost.Commsim.Cost.total_bits,
+      outcome.Protocol.cost.Commsim.Cost.messages,
+      Iset.cardinal outcome.Protocol.alice )
+  in
+  let seq = Engine.Pool.map ~domains:1 ~trials:4 trial in
+  let par = Engine.Pool.map ~domains:2 ~trials:4 trial in
+  Array.iteri
+    (fun i (bits, msgs, card) ->
+      let bits', msgs', card' = par.(i) in
+      check_int (Printf.sprintf "trial %d bits" i) bits bits';
+      check_int (Printf.sprintf "trial %d messages" i) msgs msgs';
+      check_int (Printf.sprintf "trial %d cardinal" i) card card')
+    seq
+
+(* The native-limb SplitMix64 against the published vectors and an inline
+   Int64 reference, and the unboxed [step]/[out_hi]/[out_lo] face against
+   [next]. *)
+let ref_splitmix state =
+  let s = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let test_splitmix_reference () =
+  let g = Prng.Splitmix64.create 0L in
+  List.iter
+    (fun expected -> Alcotest.(check int64) "vector (seed 0)" expected (Prng.Splitmix64.next g))
+    [ 0xE220A8397B1DCDAFL; 0x6E789E6AA1B965F4L; 0x06C45D188009454FL ];
+  for seed = 0 to 99 do
+    let s = Int64.mul (Int64.of_int ((seed * 2654435761) + 1)) 0x9E3779B97F4A7C15L in
+    let g = Prng.Splitmix64.create s in
+    let r = ref s in
+    for _ = 1 to 200 do
+      Alcotest.(check int64) "limb = Int64 reference" (ref_splitmix r) (Prng.Splitmix64.next g)
+    done
+  done;
+  let a = Prng.Splitmix64.create 42L and b = Prng.Splitmix64.create 42L in
+  for _ = 1 to 100 do
+    let boxed = Prng.Splitmix64.next a in
+    Prng.Splitmix64.step b;
+    let unboxed =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (Prng.Splitmix64.out_hi b)) 32)
+        (Int64.of_int (Prng.Splitmix64.out_lo b))
+    in
+    Alcotest.(check int64) "step/out = next" boxed unboxed
+  done
+
+(* The unboxed draw paths (bits / bool / float) against their Int64
+   formulations, sharing one reference stream. *)
+let test_rng_draws_reference () =
+  let seed = 0x1234_5678_9ABCL in
+  let rng = Prng.Rng.of_seed seed in
+  let r = ref seed in
+  for i = 1 to 500 do
+    let width = 1 + (i * 17 mod 62) in
+    let want = Int64.to_int (Int64.shift_right_logical (ref_splitmix r) (64 - width)) in
+    check_int "bits" want (Prng.Rng.bits rng ~width);
+    Alcotest.(check bool) "bool" (Int64.compare (ref_splitmix r) 0L < 0) (Prng.Rng.bool rng);
+    let wantf =
+      float_of_int (Int64.to_int (Int64.shift_right_logical (ref_splitmix r) 11))
+      /. 9007199254740992.0
+    in
+    Alcotest.(check (float 0.0)) "float" wantf (Prng.Rng.float rng)
+  done
+
+(* The native-limb FNV-1a behind [Rng.with_label], via an inline Int64
+   reference of the full label-derivation pipeline. *)
+let ref_fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L) s;
+  !h
+
+let test_with_label_reference () =
+  List.iter
+    (fun label ->
+      let root = 0x0FEDCBA987654321L in
+      let derived = Prng.Rng.with_label (Prng.Rng.of_seed root) label in
+      let reference =
+        Prng.Rng.of_seed (Prng.Splitmix64.mix (Int64.logxor root (ref_fnv1a64 label)))
+      in
+      for _ = 1 to 50 do
+        check_int ("with_label " ^ label)
+          (Prng.Rng.bits reference ~width:62)
+          (Prng.Rng.bits derived ~width:62)
+      done)
+    [ ""; "a"; "regress/bucket/k1024"; "eqb/joint/g7/t3"; "tree/bi/leaf12/run2" ]
+
+let () =
+  Alcotest.run "hotpath"
+    [
+      ( "invariance",
+        [
+          Alcotest.test_case "registered suite, caches bypassed vs on" `Quick
+            test_registered_suite_bypass_identical;
+          Alcotest.test_case "wire payloads bit-identical" `Quick test_wire_payloads_bit_identical;
+          Alcotest.test_case "binomial memo transparent" `Quick test_memo_transparent;
+          Alcotest.test_case "faults damage, caches bypassed vs on" `Slow
+            test_faults_damage_bypass_identical;
+          Alcotest.test_case "domains 1 vs 2" `Quick test_domains_identical;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "splitmix64 limb vs reference" `Quick test_splitmix_reference;
+          Alcotest.test_case "rng draws vs reference" `Quick test_rng_draws_reference;
+          Alcotest.test_case "with_label vs reference" `Quick test_with_label_reference;
+        ] );
+    ]

@@ -40,6 +40,25 @@ dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 1 > 
 dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 2 > "$soak_d2"
 cmp "$soak_d1" "$soak_d2"
 
+# Hot-path regression smoke: the committed BENCH_hotpath.json must be
+# schema-valid, the k=64 sweep must reproduce its deterministic fields
+# (bits / messages / rounds) exactly — timings get a generous 4x headroom
+# so shared CI machines don't flake — and two runs of the same config must
+# emit byte-identical deterministic reports.
+./_build/default/bin/json_check.exe --bench-hotpath < BENCH_hotpath.json
+dune exec bench/regress.exe -- --smoke --trials 3 --baseline BENCH_hotpath.json --tolerance 3.0 > /dev/null
+det_a=$(mktemp) && det_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$det_a" "$det_b"' EXIT
+dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_a"
+dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_b"
+cmp "$det_a" "$det_b"
+
+# Documentation gate, where odoc is installed (the CI image may not ship
+# it): the API docs must build without warnings-as-errors regressions.
+if command -v odoc > /dev/null 2>&1; then
+  dune build @doc
+fi
+
 # Formatting gate, where the formatter is installed (the CI image may not
 # ship ocamlformat; .ocamlformat pins the profile either way).
 if command -v ocamlformat > /dev/null 2>&1; then
