@@ -11,7 +11,14 @@
    Keys pack (n, k) into one int: n < 2^26 (a precondition Bignat.binomial
    already enforces) and k <= n, so [n lsl 26 lor k] is injective.  Out-of
    -range arguments fall through to Bignat.binomial uncached, preserving
-   its exact raise/zero behaviour. *)
+   its exact raise/zero behaviour.
+
+   The table is capped: long multi-universe sweeps in one process touch
+   unboundedly many distinct (n, k) pairs, and each entry pins a Bignat.
+   Entries are pure and recomputable, so on overflow we simply reset the
+   table and let the working set repopulate. *)
+
+let max_entries = 1 lsl 16
 
 let table : (int, Bignat.t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
@@ -27,6 +34,7 @@ let binomial n k =
     | Some v -> v
     | None ->
         let v = Bignat.binomial n k in
+        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
         Hashtbl.add table key v;
         v
   end

@@ -70,10 +70,10 @@ let next t =
   step t;
   join64 t.out_hi t.out_lo
 
-let scratch = { hi = 0; lo = 0; out_hi = 0; out_lo = 0 }
-
 let mix z =
-  (* [mix] is stateless seed derivation, off the draw hot path; reuse one
-     scratch cell purely to share [mix_into]. *)
-  mix_into scratch (split64_hi z) (split64_lo z);
-  join64 scratch.out_hi scratch.out_lo
+  (* [mix] is stateless seed derivation, off the draw hot path; a fresh
+     scratch cell per call keeps it race-free when parallel domains
+     derive seeds concurrently (a shared cell would tear). *)
+  let t = { hi = 0; lo = 0; out_hi = 0; out_lo = 0 } in
+  mix_into t (split64_hi z) (split64_lo z);
+  join64 t.out_hi t.out_lo
