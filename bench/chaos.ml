@@ -1,0 +1,88 @@
+(* Chaos campaign harness entry point.
+
+   Drives seeded session-layer campaigns (corruption storms, stall bursts,
+   flapping links, mid-session crash/resume) per (protocol x campaign)
+   cell, prints the summary table, emits the JSON report, and fails if any
+   cell violates the chaos invariant: outcomes partition the trials, zero
+   wrong intersections, every exercised resume byte-identical.
+
+     dune exec bench/chaos.exe                     # full matrix (200 trials/cell)
+     dune exec bench/chaos.exe -- --smoke          # seconds-scale CI configuration
+     dune exec bench/chaos.exe -- --trials 50 --k 32 --out BENCH_chaos.json
+
+   The report is reproducible: the same flags produce the identical JSON,
+   bit for bit (the reproduce field of the report quotes the command). *)
+
+open Cmdliner
+
+let run smoke seed trials k universe_bits overlap deadline rung_attempts check_bits out
+    json_only domains =
+  let base = if smoke then Workload.Chaos.smoke else Workload.Chaos.default in
+  let override v = function Some v' -> v' | None -> v in
+  let config =
+    {
+      base with
+      Workload.Chaos.seed = override base.Workload.Chaos.seed seed;
+      trials = override base.Workload.Chaos.trials trials;
+      k = override base.Workload.Chaos.k k;
+      universe_bits = override base.Workload.Chaos.universe_bits universe_bits;
+      overlap =
+        (match overlap with
+        | Some o -> o
+        | None -> (
+            match k with Some k -> k / 2 | None -> base.Workload.Chaos.overlap));
+      deadline_bits = override base.Workload.Chaos.deadline_bits deadline;
+      rung_attempts = override base.Workload.Chaos.rung_attempts rung_attempts;
+      check_bits0 = override base.Workload.Chaos.check_bits0 check_bits;
+    }
+  in
+  let reproduce =
+    Printf.sprintf "dune exec bench/chaos.exe --%s --seed %d --trials %d --k %d --overlap %d"
+      (if smoke then " --smoke" else "")
+      config.Workload.Chaos.seed config.Workload.Chaos.trials config.Workload.Chaos.k
+      config.Workload.Chaos.overlap
+  in
+  let report = Workload.Chaos.run ?domains config in
+  if not json_only then print_string (Workload.Chaos.summary report);
+  let json = Stats.Json.to_string_pretty (Workload.Chaos.to_json ~reproduce report) in
+  (match out with
+  | None -> if json_only then print_endline json
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      if not json_only then Printf.printf "JSON report written to %s\n" path);
+  match Workload.Chaos.invariant_violations report with
+  | [] ->
+      if not json_only then print_endline "CHAOS_INVARIANT_OK";
+      0
+  | violations ->
+      List.iter (Printf.eprintf "chaos invariant violated: %s\n") violations;
+      1
+
+let some_int names docv doc = Arg.(value & opt (some int) None & info names ~docv ~doc)
+
+let cmd =
+  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale CI configuration.") in
+  let seed = some_int [ "seed" ] "SEED" "Root seed (default 2014)." in
+  let trials = some_int [ "trials" ] "N" "Trials per (protocol x campaign) cell." in
+  let k = some_int [ "k" ] "K" "Input set size (overlap defaults to K/2)." in
+  let universe_bits = some_int [ "universe-bits" ] "B" "Universe size 2^B." in
+  let overlap = some_int [ "overlap" ] "O" "Planted intersection size." in
+  let deadline = some_int [ "deadline" ] "BITS" "Session event-time budget." in
+  let rung_attempts = some_int [ "rung-attempts" ] "A" "Attempts per ladder rung." in
+  let check_bits = some_int [ "check-bits" ] "C" "Initial equality-check width." in
+  let out = Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.") in
+  let json_only = Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON report.") in
+  let domains =
+    some_int [ "domains" ]
+      "D" "Engine worker domains (default: one per core; the report is identical for any value)."
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Run chaos campaigns against the session robustness layer.")
+    Term.(
+      const run $ smoke $ seed $ trials $ k $ universe_bits $ overlap $ deadline
+      $ rung_attempts $ check_bits $ out $ json_only $ domains)
+
+let () = exit (Cmd.eval' cmd)

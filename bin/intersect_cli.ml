@@ -240,7 +240,7 @@ let similarity_cmd =
 
 let obsv_protocol_names =
   "trivial, full-exchange, one-round, basic, bucket, tree, tree-log-star, verified-tree, \
-   resilient, star, tournament"
+   resilient, session, star, tournament"
 
 let domains_arg =
   Arg.(
@@ -286,7 +286,43 @@ let collect_with ~name ~r ~k ~universe_bits ~overlap ~players ~rng =
             (Prng.Rng.with_label rng "resilient")
             ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
         in
+        List.iter
+          (function
+            | Resilient.Check_rejected -> prerr_endline "resilient: equality check rejected"
+            | Resilient.Channel_lost d -> Printf.eprintf "resilient: channel lost: %s\n" d
+            | Resilient.Party_crashed d -> Printf.eprintf "resilient: party crashed: %s\n" d)
+          report.Resilient.failures;
         Ok (report.Resilient.cost, Iset.cardinal report.Resilient.result)
+    | "session" ->
+        (* One full session over a mildly dropping link: exercises the
+           ladder (and its session/* spans) end to end. *)
+        let pair = two_party_pair () in
+        let plan =
+          Commsim.Faults.uniform
+            ~seed:(Prng.Rng.bits (Prng.Rng.with_label rng "session-plan") ~width:30)
+            (Commsim.Faults.dropping 8e-2)
+        in
+        let cfg =
+          {
+            (Session.Machine.default ~k ~plan) with
+            Session.Machine.universe_bits;
+            seed = Prng.Rng.bits (Prng.Rng.with_label rng "session-seed") ~width:30;
+          }
+        in
+        let report =
+          Session.Machine.run cfg ~s:pair.Workload.Setgen.s ~t:pair.Workload.Setgen.t
+        in
+        List.iter
+          (fun (kind, detail) ->
+            Printf.eprintf "session: attempt failed (%s): %s\n"
+              (Session.Machine.kind_name kind) detail)
+          report.Session.Machine.failures;
+        let size =
+          match Session.Machine.result_of report.Session.Machine.outcome with
+          | Some result -> Iset.cardinal result
+          | None -> 0
+        in
+        Ok (report.Session.Machine.ledger.Session.Machine.cost, size)
     | name -> begin
         match protocol_of_name name ~r ~k with
         | Error _ -> Error (`Msg ("unknown protocol (try: " ^ obsv_protocol_names ^ ")"))
@@ -470,7 +506,16 @@ let soak_cmd =
     let report = Workload.Soak.run ?domains config in
     if json then print_endline (Stats.Json.to_string_pretty (Workload.Soak.to_json report))
     else print_string (Workload.Soak.summary report);
-    if List.for_all (fun c -> c.Workload.Soak.within_bound) report.Workload.Soak.cells then 0 else 1
+    let bad = List.filter (fun c -> not c.Workload.Soak.within_bound) report.Workload.Soak.cells in
+    List.iter
+      (fun c ->
+        Printf.eprintf "soak: %s/%s exceeded its error bound%s\n" c.Workload.Soak.protocol
+          c.Workload.Soak.plan
+          (match c.Workload.Soak.first_failure with
+          | None -> ""
+          | Some d -> Printf.sprintf " (first carried failure: %s)" d))
+      bad;
+    if bad = [] then 0 else 1
   in
   Cmd.v
     (Cmd.info "soak"
@@ -479,6 +524,46 @@ let soak_cmd =
           harness; this is the quick in-CLI view).")
     Term.(
       const run $ smoke_arg $ json_arg $ soak_trials_arg
+      $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+      $ Arg.(value & opt int 16 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
+      $ Arg.(value & opt int 20 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
+      $ overlap_arg $ domains_arg)
+
+let chaos_cmd =
+  let smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale configuration.") in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report instead of the table.") in
+  let chaos_trials_arg =
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc:"Trials per (protocol x campaign) cell.")
+  in
+  let run smoke json trials seed k universe_bits overlap domains =
+    let base = if smoke then Workload.Chaos.smoke else Workload.Chaos.default in
+    let config =
+      {
+        base with
+        Workload.Chaos.seed;
+        trials = Option.value trials ~default:base.Workload.Chaos.trials;
+        k;
+        universe_bits;
+        overlap = Option.value overlap ~default:(k / 2);
+      }
+    in
+    let report = Workload.Chaos.run ?domains config in
+    if json then print_endline (Stats.Json.to_string_pretty (Workload.Chaos.to_json report))
+    else print_string (Workload.Chaos.summary report);
+    match Workload.Chaos.invariant_violations report with
+    | [] -> 0
+    | violations ->
+        List.iter (Printf.eprintf "chaos invariant violated: %s\n") violations;
+        1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run seeded chaos campaigns (corruption storms, stall bursts, mid-session \
+          crash/resume) against the session robustness layer and check the chaos invariant \
+          (bench/chaos.exe is the full harness; this is the quick in-CLI view).")
+    Term.(
+      const run $ smoke_arg $ json_arg $ chaos_trials_arg
       $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
       $ Arg.(value & opt int 16 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
       $ Arg.(value & opt int 20 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
@@ -683,6 +768,7 @@ let () =
             disj_cmd;
             similarity_cmd;
             soak_cmd;
+            chaos_cmd;
             bench_regress_cmd;
             conform_cmd;
             trace_cmd;

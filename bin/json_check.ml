@@ -9,6 +9,12 @@
    positive), reports positive timings, and the k values within each
    protocol are strictly increasing (the sweep order the bench emits).
 
+   With [--bench-chaos], additionally validates the BENCH_chaos.json
+   schema and the chaos invariant the report must witness: every cell's
+   completed/degraded/failed-safe outcome counts partition its trials,
+   zero wrong intersections, and every exercised resume replayed
+   byte-identically (resumed_identical = resumed).
+
    The cursor lives inside [validate] (not at top level) so the module
    carries no ambient mutable state — intersect-lint rule R2 holds here
    like everywhere else. *)
@@ -190,13 +196,76 @@ let check_bench_hotpath input =
                  (fun acc i cell -> match acc with Error _ -> acc | Ok () -> check_cell i cell)
                  (Ok ()))
 
+let check_bench_chaos input =
+  let module J = Stats.Json in
+  let fail msg = Error ("bench-chaos schema: " ^ msg) in
+  match J.of_string input with
+  | Error msg -> fail ("unparseable: " ^ msg)
+  | Ok doc -> (
+      if Option.bind (J.member "bench" doc) J.to_string_opt <> Some "chaos" then
+        fail "missing \"bench\": \"chaos\" marker"
+      else
+        match Option.bind (J.member "cells" doc) J.to_list_opt with
+        | None -> fail "missing \"cells\" list"
+        | Some [] -> fail "empty \"cells\" list"
+        | Some cells ->
+            let check_cell i cell =
+              let where msg = Printf.sprintf "cell %d: %s" i msg in
+              let str_field name = Option.bind (J.member name cell) J.to_string_opt in
+              let int_field name = Option.bind (J.member name cell) J.to_int_opt in
+              match (str_field "protocol", str_field "campaign") with
+              | None, _ -> Error (where "missing \"protocol\"")
+              | _, None -> Error (where "missing \"campaign\"")
+              | Some _, Some _ -> (
+                  let required =
+                    [
+                      "trials";
+                      "completed";
+                      "degraded";
+                      "failed_safe";
+                      "resumed";
+                      "resumed_identical";
+                      "wrong";
+                      "attempts_total";
+                      "rejected";
+                      "stalled";
+                      "crashed";
+                      "deadline";
+                    ]
+                  in
+                  match
+                    List.find_opt
+                      (fun name ->
+                        match int_field name with None -> true | Some v -> v < 0)
+                      required
+                  with
+                  | Some name ->
+                      Error (where (Printf.sprintf "missing or negative %S" name))
+                  | None ->
+                      let get name = Option.get (int_field name) in
+                      if get "trials" < 1 then Error (where "fewer than 1 trial")
+                      else if
+                        get "completed" + get "degraded" + get "failed_safe" <> get "trials"
+                      then Error (where "outcome counts do not partition the trials")
+                      else if get "wrong" <> 0 then
+                        Error (where "wrong intersections reported")
+                      else if get "resumed_identical" <> get "resumed" then
+                        Error (where "a resumed session diverged from the uninterrupted run")
+                      else Ok ())
+            in
+            List.to_seq cells
+            |> Seq.fold_lefti
+                 (fun acc i cell -> match acc with Error _ -> acc | Ok () -> check_cell i cell)
+                 (Ok ()))
+
 let () =
-  let bench_hotpath =
+  let schema =
     match Sys.argv with
-    | [| _ |] -> false
-    | [| _; "--bench-hotpath" |] -> true
+    | [| _ |] -> None
+    | [| _; "--bench-hotpath" |] -> Some check_bench_hotpath
+    | [| _; "--bench-chaos" |] -> Some check_bench_chaos
     | _ ->
-        prerr_endline "usage: json_check [--bench-hotpath] < input.json";
+        prerr_endline "usage: json_check [--bench-hotpath | --bench-chaos] < input.json";
         exit 2
   in
   let input = In_channel.input_all In_channel.stdin in
@@ -207,11 +276,12 @@ let () =
   | Error msg ->
       prerr_endline ("json_check: " ^ msg);
       exit 1
-  | Ok () ->
-      if not bench_hotpath then exit 0
-      else (
-        match check_bench_hotpath input with
-        | Ok () -> exit 0
-        | Error msg ->
-            prerr_endline ("json_check: " ^ msg);
-            exit 1)
+  | Ok () -> (
+      match schema with
+      | None -> exit 0
+      | Some check -> (
+          match check input with
+          | Ok () -> exit 0
+          | Error msg ->
+              prerr_endline ("json_check: " ^ msg);
+              exit 1))

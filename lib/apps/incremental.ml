@@ -30,7 +30,7 @@ let validate_update ~universe state { inserts; deletes } =
      4-5.       : equality certification of the updated candidates
      6...       : full re-run, only if certification failed. *)
 let sync_party role rng ~universe ~batch state update chan =
-  let open Commsim.Chan in
+  let open Commsim.Transport in
   let new_current = Iset.union (Iset.diff state.current update.deletes) update.inserts in
   (* simultaneous size exchange: the tag width must be agreed, and it
      depends on both sides' sizes (as in Lemma 3.3) *)

@@ -17,11 +17,11 @@ let default_protocol () = Verified.protocol (Tree_protocol.protocol_log_star ())
 let exchange_sizes s t =
   Commsim.Two_party.run
     ~alice:(fun chan ->
-      chan.Commsim.Chan.send (Wire.gamma_msg (Array.length s));
-      Wire.read_gamma_msg (chan.Commsim.Chan.recv ()))
+      Commsim.Transport.send chan (Wire.gamma_msg (Array.length s));
+      Wire.read_gamma_msg (Commsim.Transport.recv chan))
     ~bob:(fun chan ->
-      chan.Commsim.Chan.send (Wire.gamma_msg (Array.length t));
-      Wire.read_gamma_msg (chan.Commsim.Chan.recv ()))
+      Commsim.Transport.send chan (Wire.gamma_msg (Array.length t));
+      Wire.read_gamma_msg (Commsim.Transport.recv chan))
 
 let run ?protocol rng ~universe s t =
   let protocol = match protocol with Some p -> p | None -> default_protocol () in

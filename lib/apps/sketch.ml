@@ -74,8 +74,8 @@ let exchange rng ~sketch_size s t =
   in
   let party mine chan =
     let my_sketch, my_message = message mine in
-    chan.Commsim.Chan.send my_message;
-    let their_size, their_sketch = parse (chan.Commsim.Chan.recv ()) in
+    Commsim.Transport.send chan my_message;
+    let their_size, their_sketch = parse (Commsim.Transport.recv chan) in
     estimate ~size_a:(Array.length mine) ~size_b:their_size my_sketch their_sketch
   in
   let (estimate_a, estimate_b), cost = Commsim.Two_party.run ~alice:(party s) ~bob:(party t) in

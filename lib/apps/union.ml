@@ -10,8 +10,8 @@ type result = {
 let run _rng ~universe s t =
   Protocol.validate_inputs ~universe s t;
   let alice chan =
-    chan.Commsim.Chan.send (Wire.of_set s);
-    let reader = Bitio.Bitreader.create (chan.Commsim.Chan.recv ()) in
+    Commsim.Transport.send chan (Wire.of_set s);
+    let reader = Bitio.Bitreader.create (Commsim.Transport.recv chan) in
     let t_minus_s = Bitio.Set_codec.read_gaps reader in
     let s_minus_t_flags = Array.map (fun _ -> Bitio.Bitreader.read_bit reader) s in
     let s_minus_t =
@@ -22,13 +22,13 @@ let run _rng ~universe s t =
       Iset.union s_minus_t t_minus_s )
   in
   let bob chan =
-    let received = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ())) in
+    let received = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan)) in
     let t_minus_s = Iset.diff t received in
     let buf = Bitio.Bitbuf.create () in
     Bitio.Set_codec.write_gaps buf t_minus_s;
     (* bitmap over Alice's elements, in her sorted order: 1 = not in T *)
     Array.iter (fun x -> Bitio.Bitbuf.write_bit buf (not (Iset.mem t x))) received;
-    chan.Commsim.Chan.send (Bitio.Bitbuf.contents buf);
+    Commsim.Transport.send chan (Bitio.Bitbuf.contents buf);
     ( Iset.union received t_minus_s,
       Iset.inter received t,
       Iset.union (Iset.diff received t) t_minus_s )

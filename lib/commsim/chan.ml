@@ -1,43 +1,18 @@
-type t = { send : Bitio.Bits.t -> unit; recv : unit -> Bitio.Bits.t }
+type t = Transport.t = { send : Bitio.Bits.t -> unit; recv : unit -> Bitio.Bits.t }
 
 let of_endpoint ep ~peer =
   {
-    send = (fun payload -> Network.send ep ~to_:peer payload);
+    Transport.send = (fun payload -> Network.send ep ~to_:peer payload);
     recv = (fun () -> Network.recv ep ~from_:peer);
   }
 
-let flip_payload payload bit = Bitio.Bits.flip payload bit
+module Sim = struct
+  type addr = Network.endpoint * int
+  type conn = Transport.t
 
-let tamper ?flip_bit ?drop_nth chan =
-  let sent = ref 0 in
-  {
-    chan with
-    send =
-      (fun payload ->
-        let index = !sent in
-        incr sent;
-        if Some index = drop_nth then ()
-        else begin
-          let payload =
-            match flip_bit with
-            | None -> payload
-            | Some choose -> begin
-                match choose index (Bitio.Bits.length payload) with
-                | Some bit when bit >= 0 && bit < Bitio.Bits.length payload ->
-                    flip_payload payload bit
-                | Some _ | None -> payload
-              end
-          in
-          chan.send payload
-        end);
-  }
+  let connect (ep, peer) = of_endpoint ep ~peer
+  let chan conn = conn
+end
 
-let loopback () =
-  let a_to_b = Queue.create () and b_to_a = Queue.create () in
-  let take label q () =
-    match Queue.take_opt q with
-    | Some payload -> payload
-    | None -> failwith ("Chan.loopback: recv on empty queue (" ^ label ^ ")")
-  in
-  ( { send = (fun p -> Queue.add p a_to_b); recv = take "a" b_to_a },
-    { send = (fun p -> Queue.add p b_to_a); recv = take "b" a_to_b } )
+let loopback = Transport.pipe
+let tamper = Transport.tamper

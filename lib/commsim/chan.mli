@@ -1,24 +1,30 @@
-(** A bidirectional channel to one fixed peer.
+(** The coroutine simulator's binding of the {!Transport} abstraction.
 
-    Protocol implementations are written against this record so the same
-    code runs standalone between two parties ({!Two_party.run}) and embedded
-    inside an m-player execution (a pair of {!Network} endpoints). *)
+    Party code is written against {!Transport.t}; this module produces such
+    values from simulator endpoints, so the same protocol implementations
+    run standalone between two parties ({!Two_party.run}) and embedded
+    inside an m-player execution (a pair of {!Network} endpoints).
 
-type t = { send : Bitio.Bits.t -> unit; recv : unit -> Bitio.Bits.t }
+    [t] is kept as an alias of {!Transport.t} (with its fields re-exported)
+    for existing call sites; new code should name {!Transport.t}
+    directly. *)
 
-(** [of_endpoint ep ~peer] views the network endpoint [ep] as a channel to
-    player [peer]. *)
-val of_endpoint : Network.endpoint -> peer:int -> t
+type t = Transport.t = { send : Bitio.Bits.t -> unit; recv : unit -> Bitio.Bits.t }
 
-(** [loopback ()] is a pair of channels plumbed back to back with a
-    same-thread queue; useful in unit tests of message-level codecs.  No
-    cost accounting, and [recv] on an empty queue raises [Failure]. *)
-val loopback : unit -> t * t
+(** [of_endpoint ep ~peer] views the network endpoint [ep] as a transport
+    to player [peer]. *)
+val of_endpoint : Network.endpoint -> peer:int -> Transport.t
 
-(** [tamper ?flip_bit ?drop_nth chan] wraps a channel with fault injection
-    for robustness tests: [flip_bit (message_index, payload_length)]
-    returns the bit to corrupt in that outgoing message (or [None]);
-    [drop_nth] silently discards that outgoing message (0-based).
-    Incoming traffic is untouched. *)
+(** The coroutine simulator as a {!Transport.S} backend: an address is an
+    (endpoint, peer rank) pair, and connecting is free because the
+    scheduler already owns the wires. *)
+module Sim : Transport.S with type addr = Network.endpoint * int
+
+(** [loopback ()] is {!Transport.pipe}: a pair of transports plumbed back
+    to back with a same-thread queue, no cost accounting. *)
+val loopback : unit -> Transport.t * Transport.t
+
+(** {!Transport.tamper}, re-exported: message-level fault injection for
+    robustness tests. *)
 val tamper :
-  ?flip_bit:(int -> int -> int option) -> ?drop_nth:int -> t -> t
+  ?flip_bit:(int -> int -> int option) -> ?drop_nth:int -> Transport.t -> Transport.t

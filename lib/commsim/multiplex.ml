@@ -22,7 +22,7 @@ let run ep sessions =
   in
   let chan_for peer =
     {
-      Chan.send = (fun p -> Network.send ep ~to_:peer p);
+      Transport.send = (fun p -> Network.send ep ~to_:peer p);
       recv = (fun () -> perform (Sub_recv peer));
     }
   in

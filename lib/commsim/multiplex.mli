@@ -7,12 +7,12 @@
     on {!Network.recv_any}, so independent conversations overlap exactly as
     the model intends and round accounting stays honest.
 
-    Each session gets a {!Chan.t} to its peer.  Sends go out immediately;
-    receives park the session until a message from that peer arrives.  At
-    most one session per peer. *)
+    Each session gets a {!Transport.t} to its peer.  Sends go out
+    immediately; receives park the session until a message from that peer
+    arrives.  At most one session per peer. *)
 
 (** [run ep sessions] drives all sessions to completion and returns their
     results in input order.  Messages that arrive from a peer whose session
     already finished are dropped (they were metered at send time, like any
     unreceived message). *)
-val run : Network.endpoint -> (int * (Chan.t -> 'a)) list -> 'a list
+val run : Network.endpoint -> (int * (Transport.t -> 'a)) list -> 'a list

@@ -23,6 +23,7 @@ type player_state = {
   mutable sent_bits : int;
   mutable received_bits : int;
   mutable sent_messages : int;
+  mutable consumed_messages : int;
 }
 
 type endpoint = player_state
@@ -46,13 +47,20 @@ exception Deadlock of string
 
 type trace_entry = { from_ : int; to_ : int; bits : int; depth : int; span : int option }
 
-type blocked = { rank : int; waiting_for : int option }
-type diagnosis = { blocked : blocked list; dropped : int; detail : string }
+type blocked = { rank : int; waiting_for : int option; consumed : int }
+type drop_site = { drop_from : int; drop_to : int; drop_index : int }
+
+type diagnosis = {
+  blocked : blocked list;
+  dropped : int;
+  first_drop : drop_site option;
+  detail : string;
+}
 
 type 'r outcome =
   | Completed of 'r
   | Lost of diagnosis
-  | Crashed of { rank : int; exn : string }
+  | Crashed of { rank : int; exn : string; after_messages : int }
 
 let run_with ~trace ~faults players =
   let m = Array.length players in
@@ -68,6 +76,7 @@ let run_with ~trace ~faults players =
           sent_bits = 0;
           received_bits = 0;
           sent_messages = 0;
+          consumed_messages = 0;
         })
   in
   let results = Array.make m None in
@@ -85,10 +94,12 @@ let run_with ~trace ~faults players =
   let tallies = Faults.create_tallies ~players:m in
   let link_index = Array.init m (fun _ -> Array.make m 0) in
   let crashes = ref [] in
+  let first_drop = ref None in
   let consume st from_ =
     let payload, depth = Queue.pop st.inboxes.(from_) in
     st.clock <- max st.clock depth;
     st.received_bits <- st.received_bits + Bitio.Bits.length payload;
+    st.consumed_messages <- st.consumed_messages + 1;
     payload
   in
   let first_nonempty_inbox st =
@@ -156,7 +167,7 @@ let run_with ~trace ~faults players =
           | None -> raise
           | Some _ ->
               fun e ->
-                crashes := (st.rank, Printexc.to_string e) :: !crashes;
+                crashes := (st.rank, Printexc.to_string e, st.consumed_messages) :: !crashes;
                 st.status <- Finished);
         effc =
           (fun (type c) (eff : c Effect.t) ->
@@ -175,7 +186,10 @@ let run_with ~trace ~faults players =
                         tallies.Faults.links.(st.rank).(to_) <-
                           Faults.add_tally tallies.Faults.links.(st.rank).(to_) delta;
                         (match action with
-                        | Faults.Drop -> ()
+                        | Faults.Drop ->
+                            if !first_drop = None then
+                              first_drop :=
+                                Some { drop_from = st.rank; drop_to = to_; drop_index = index }
                         | Faults.Deliver copies -> List.iter (deliver st ~to_) copies));
                     continue k ())
             | Recv_eff from_ ->
@@ -205,15 +219,18 @@ let run_with ~trace ~faults players =
   else schedule ();
   let outcome =
     match List.rev !crashes with
-    | (rank, exn) :: _ -> Crashed { rank; exn }
+    | (rank, exn, after_messages) :: _ -> Crashed { rank; exn; after_messages }
     | [] -> begin
         let stuck =
           Array.to_list states
           |> List.filter_map (fun st ->
                  match st.status with
                  | Finished -> None
-                 | Blocked (_, from_) -> Some { rank = st.rank; waiting_for = Some from_ }
-                 | Blocked_any _ | Runnable -> Some { rank = st.rank; waiting_for = None })
+                 | Blocked (_, from_) ->
+                     Some
+                       { rank = st.rank; waiting_for = Some from_; consumed = st.consumed_messages }
+                 | Blocked_any _ | Runnable ->
+                     Some { rank = st.rank; waiting_for = None; consumed = st.consumed_messages })
         in
         match stuck with
         | [] ->
@@ -241,19 +258,28 @@ let run_with ~trace ~faults players =
               | Some from_ ->
                   let t = tallies.Faults.links.(from_).(b.rank) in
                   Printf.sprintf
-                    "player %d waits for player %d (link %d->%d: %d sent, %d dropped, %d \
-                     truncated)"
-                    b.rank from_ from_ b.rank
+                    "player %d waits for player %d after consuming %d message(s) (link %d->%d: \
+                     %d sent, %d dropped, %d truncated)"
+                    b.rank from_ b.consumed from_ b.rank
                     link_index.(from_).(b.rank)
                     t.Faults.dropped_messages t.Faults.truncated_messages
-              | None -> Printf.sprintf "player %d waits for a message from any player" b.rank
+              | None ->
+                  Printf.sprintf "player %d waits for a message from any player after consuming %d"
+                    b.rank b.consumed
+            in
+            let first =
+              match !first_drop with
+              | None -> ""
+              | Some d ->
+                  Printf.sprintf "; first drop was message #%d on link %d->%d" d.drop_index
+                    d.drop_from d.drop_to
             in
             let detail =
-              Printf.sprintf "%s; channel dropped %d message(s) in total"
+              Printf.sprintf "%s; channel dropped %d message(s) in total%s"
                 (String.concat "; " (List.map describe stuck))
-                dropped
+                dropped first
             in
-            Lost { blocked = stuck; dropped; detail }
+            Lost { blocked = stuck; dropped; first_drop = !first_drop; detail }
       end
   in
   let players_cost =

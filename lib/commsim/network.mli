@@ -51,23 +51,36 @@ val run : (endpoint -> 'a) array -> 'a array * Cost.t
     [cost.total_bits], and the maximum depth equals [cost.rounds]. *)
 val run_traced : (endpoint -> 'a) array -> 'a array * Cost.t * trace_entry list
 
-(** One player that can no longer make progress: the sender it waits on, or
-    [None] when blocked in {!recv_any}. *)
-type blocked = { rank : int; waiting_for : int option }
+(** One player that can no longer make progress: the sender it waits on
+    ([None] when blocked in {!recv_any}) and how many messages it had
+    consumed before wedging — the index of the message it is missing. *)
+type blocked = { rank : int; waiting_for : int option; consumed : int }
+
+(** The coordinates of a message the channel swallowed: the [drop_index]-th
+    message sent on the directed link [drop_from -> drop_to]. *)
+type drop_site = { drop_from : int; drop_to : int; drop_index : int }
 
 (** Why a faulty execution wedged: which players are stuck, how many
-    messages the channel swallowed, and a human-readable account that names
-    the guilty links. *)
-type diagnosis = { blocked : blocked list; dropped : int; detail : string }
+    messages the channel swallowed, the first message it dropped (the usual
+    root cause of a desynchronised conversation), and a human-readable
+    account that names the guilty links. *)
+type diagnosis = {
+  blocked : blocked list;
+  dropped : int;
+  first_drop : drop_site option;
+  detail : string;
+}
 
 (** Result of an execution over an adversarial channel.  [Lost] replaces the
     {!Deadlock} exception: a dropped (or desynchronising) message shows up
     as a structured diagnosis, not a bare exception.  [Crashed] captures a
-    player raising — typically a codec choking on a corrupted payload. *)
+    player raising — typically a codec choking on a corrupted payload —
+    together with how many messages the player had consumed when it raised
+    (so the offending message is identifiable). *)
 type 'r outcome =
   | Completed of 'r
   | Lost of diagnosis
-  | Crashed of { rank : int; exn : string }
+  | Crashed of { rank : int; exn : string; after_messages : int }
 
 (** [run_faulty ~plan players] runs the execution with the channel applying
     [plan] to every message at delivery time ({!Faults.apply}).  Cost meters

@@ -24,6 +24,6 @@ let run_faulty ~plan ~alice ~bob =
         | _ -> assert false
       end
     | Network.Lost d -> Network.Lost d
-    | Network.Crashed { rank; exn } -> Network.Crashed { rank; exn }
+    | Network.Crashed { rank; exn; after_messages } -> Network.Crashed { rank; exn; after_messages }
   in
   (outcome, cost, tallies)

@@ -5,7 +5,7 @@
     results together with the execution cost.  Each party sees only its
     channel; scheduling, metering and round accounting are inherited from
     {!Network}. *)
-val run : alice:(Chan.t -> 'a) -> bob:(Chan.t -> 'b) -> ('a * 'b) * Cost.t
+val run : alice:(Transport.t -> 'a) -> bob:(Transport.t -> 'b) -> ('a * 'b) * Cost.t
 
 (** [run_faulty ~plan ~alice ~bob] runs both parties over an adversarial
     channel ({!Faults}).  A drop that wedges the conversation surfaces as
@@ -15,6 +15,6 @@ val run : alice:(Chan.t -> 'a) -> bob:(Chan.t -> 'b) -> ('a * 'b) * Cost.t
     bits a failed attempt burned. *)
 val run_faulty :
   plan:Faults.plan ->
-  alice:(Chan.t -> 'a) ->
-  bob:(Chan.t -> 'b) ->
+  alice:(Transport.t -> 'a) ->
+  bob:(Transport.t -> 'b) ->
   ('a * 'b) Network.outcome * Cost.t * Faults.tallies

@@ -20,7 +20,7 @@ let filter_by_tags fn table set =
 (* The standalone 4-message exchange.  [mine]/[theirs] differ only in who
    talks first, so both runners share this body. *)
 let run rng ~failure chan ~first mine =
-  let open Commsim.Chan in
+  let open Commsim.Transport in
   let my_size = Array.length mine in
   let their_size =
     Obsv.Trace.span Obsv.Phases.bi_sizes (fun () ->

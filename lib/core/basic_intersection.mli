@@ -35,10 +35,10 @@ val filter_by_tags : Strhash.fn -> (string, unit) Hashtbl.t -> Iset.t -> Iset.t
 
 (** Standalone 4-round runners ([failure] in (0, 1)).  Both sides must use
     generators in identical states. *)
-val run_alice : Prng.Rng.t -> failure:float -> Commsim.Chan.t -> Iset.t -> Iset.t
+val run_alice : Prng.Rng.t -> failure:float -> Commsim.Transport.t -> Iset.t -> Iset.t
 
 (** Bob's side of {!run_alice}; same [failure] and generator contract. *)
-val run_bob : Prng.Rng.t -> failure:float -> Commsim.Chan.t -> Iset.t -> Iset.t
+val run_bob : Prng.Rng.t -> failure:float -> Commsim.Transport.t -> Iset.t -> Iset.t
 
 (** Protocol record (runs the standalone form; sandwich contract holds). *)
 val protocol : failure:float -> Protocol.t

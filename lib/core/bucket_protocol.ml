@@ -6,7 +6,7 @@ let instance_ceiling k = 20 * k
 
 let run_party ?sequential ?(reduce = true) role rng ~universe ~k chan mine =
   if k < 1 then invalid_arg "Bucket_protocol.run_party";
-  let open Commsim.Chan in
+  let open Commsim.Transport in
   let n_reduced = if reduce then max 64 (k * k * k) else universe in
   (* Universe reduction H: [n] -> [k^3]; identity when already small. *)
   let images, preimages =

@@ -27,7 +27,7 @@ val run_party :
   Prng.Rng.t ->
   universe:int ->
   k:int ->
-  Commsim.Chan.t ->
+  Commsim.Transport.t ->
   Iset.t ->
   Iset.t
 

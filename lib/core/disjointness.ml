@@ -33,7 +33,7 @@ let hw ?(bits_per_message = 8) ?(round_cap_factor = 4) rng ~universe s t =
   let k0 = max 1 (max (Array.length s) (Array.length t)) in
   let cap = round_cap_factor * (2 + (((k0 * (Iterated_log.log2_ceil (k0 + 2) + 4)) + b) / b)) in
   let party is_alice mine chan =
-    let open Commsim.Chan in
+    let open Commsim.Transport in
     let current = ref mine in
     let round = ref 0 in
     let verdict = ref None in

@@ -21,7 +21,7 @@ let length_prefixed instances idxs =
   Bitio.Pool.payload (fun buf -> length_prefixed_into buf instances idxs)
 
 let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng chan instances =
-  let open Commsim.Chan in
+  let open Commsim.Transport in
   let k = Array.length instances in
   let status = Array.make k `Undecided in
   let jbits = joint_bits ~k in

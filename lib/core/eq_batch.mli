@@ -33,7 +33,7 @@ val run_alice :
   ?sequential:bool ->
   ?max_iterations:int ->
   Prng.Rng.t ->
-  Commsim.Chan.t ->
+  Commsim.Transport.t ->
   Bitio.Bits.t array ->
   bool array
 
@@ -42,7 +42,7 @@ val run_bob :
   ?sequential:bool ->
   ?max_iterations:int ->
   Prng.Rng.t ->
-  Commsim.Chan.t ->
+  Commsim.Transport.t ->
   Bitio.Bits.t array ->
   bool array
 

@@ -5,14 +5,14 @@ let tag_fn rng ~bits = Strhash.create (Prng.Rng.with_label rng "equality/tag") ~
 
 let run_alice rng ~bits chan x =
   let tag = Strhash.apply (tag_fn rng ~bits) x in
-  chan.Commsim.Chan.send tag;
-  Wire.read_bit_msg (chan.Commsim.Chan.recv ())
+  Commsim.Transport.send chan tag;
+  Wire.read_bit_msg (Commsim.Transport.recv chan)
 
 let run_bob rng ~bits chan y =
   let tag = Strhash.apply (tag_fn rng ~bits) y in
-  let received = chan.Commsim.Chan.recv () in
+  let received = Commsim.Transport.recv chan in
   let verdict = Bitio.Bits.equal tag received in
-  chan.Commsim.Chan.send (Wire.bit_msg verdict);
+  Commsim.Transport.send chan (Wire.bit_msg verdict);
   verdict
 
 let run_alice_set rng ~bits chan set = run_alice rng ~bits chan (Wire.of_set set)

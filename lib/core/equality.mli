@@ -14,13 +14,13 @@
     side already consumed. *)
 
 (** Alice's side: sends the [bits]-bit tag, receives the verdict. *)
-val run_alice : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Bitio.Bits.t -> bool
+val run_alice : Prng.Rng.t -> bits:int -> Commsim.Transport.t -> Bitio.Bits.t -> bool
 
 (** Bob's side: compares tags, sends the verdict back. *)
-val run_bob : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Bitio.Bits.t -> bool
+val run_bob : Prng.Rng.t -> bits:int -> Commsim.Transport.t -> Bitio.Bits.t -> bool
 
 (** Equality of whole sets, via their canonical encoding ({!Wire.of_set}). *)
-val run_alice_set : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Iset.t -> bool
+val run_alice_set : Prng.Rng.t -> bits:int -> Commsim.Transport.t -> Iset.t -> bool
 
 (** Bob's side of {!run_alice_set}. *)
-val run_bob_set : Prng.Rng.t -> bits:int -> Commsim.Chan.t -> Iset.t -> bool
+val run_bob_set : Prng.Rng.t -> bits:int -> Commsim.Transport.t -> Iset.t -> bool

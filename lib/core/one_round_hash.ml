@@ -13,13 +13,13 @@ let protocol ?(confidence = 4) () =
         let bits = tag_bits ~k ~confidence in
         let fn () = Strhash.create (Prng.Rng.with_label rng "one-round/fn") ~bits in
         let send_tags chan fn mine =
-          chan.Commsim.Chan.send
+          Commsim.Transport.send chan
             (Bitio.Pool.payload (fun buf ->
                  Bitio.Codes.write_gamma buf (Array.length mine);
                  Basic_intersection.write_tags buf fn mine))
         in
         let receive_and_filter chan fn mine =
-          let reader = Bitio.Bitreader.create (chan.Commsim.Chan.recv ()) in
+          let reader = Bitio.Bitreader.create (Commsim.Transport.recv chan) in
           let count = Bitio.Codes.read_gamma reader in
           let table = Basic_intersection.read_tag_keys reader ~bits ~count in
           Basic_intersection.filter_by_tags fn table mine

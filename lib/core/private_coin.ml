@@ -20,10 +20,10 @@ let protocol base =
               let seed = Prng.Rng.bits (Prng.Rng.with_label rng "private/draw") ~width:bits in
               let buf = Bitio.Bitbuf.create () in
               Bitio.Bitbuf.write_bits buf ~width:bits seed;
-              chan.Commsim.Chan.send (Bitio.Bitbuf.contents buf);
+              Commsim.Transport.send chan (Bitio.Bitbuf.contents buf);
               seed)
             ~bob:(fun chan ->
-              Bitio.Bitreader.read_bits (Bitio.Bitreader.create (chan.Commsim.Chan.recv ())) ~width:bits)
+              Bitio.Bitreader.read_bits (Bitio.Bitreader.create (Commsim.Transport.recv chan)) ~width:bits)
         in
         assert (seed_at_alice = seed_at_bob);
         let shared = Prng.Rng.of_seed (Int64.of_int seed_at_alice) in

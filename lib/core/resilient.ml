@@ -1,14 +1,14 @@
-type party = Prng.Rng.t -> universe:int -> Iset.t -> Commsim.Chan.t -> Iset.t
+type party = Prng.Rng.t -> universe:int -> Iset.t -> Commsim.Transport.t -> Iset.t
 type base = { name : string; alice : party; bob : party }
 
 let trivial_alice _rng ~universe:_ mine chan =
-  chan.Commsim.Chan.send (Wire.of_set mine);
-  Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+  Commsim.Transport.send chan (Wire.of_set mine);
+  Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan))
 
 let trivial_bob _rng ~universe:_ mine chan =
-  let received = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ())) in
+  let received = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan)) in
   let intersection = Iset.inter received mine in
-  chan.Commsim.Chan.send (Wire.of_set intersection);
+  Commsim.Transport.send chan (Wire.of_set intersection);
   intersection
 
 let trivial_base = { name = "trivial"; alice = trivial_alice; bob = trivial_bob }
@@ -55,10 +55,10 @@ let guard rng ~tag_bits chan =
     let seq = seq_bits !next_send in
     incr next_send;
     let tag = Strhash.apply h (Bitio.Bits.concat seq payload) in
-    chan.Commsim.Chan.send (Bitio.Bits.concat seq (Bitio.Bits.concat tag payload))
+    Commsim.Transport.send chan (Bitio.Bits.concat seq (Bitio.Bits.concat tag payload))
   in
   let rec recv () =
-    let r = Bitio.Bitreader.create (chan.Commsim.Chan.recv ()) in
+    let r = Bitio.Bitreader.create (Commsim.Transport.recv chan) in
     let parsed =
       match
         let seq = Bitio.Bitreader.read_bits r ~width:seq_width in
@@ -80,9 +80,11 @@ let guard rng ~tag_bits chan =
       payload
     end
   in
-  { Commsim.Chan.send; recv }
+  { Commsim.Transport.send; recv }
 
 type failure = Check_rejected | Channel_lost of string | Party_crashed of string
+
+type attempt_info = { index : int; width : int; bits : int; failure : failure option }
 
 type report = {
   result : Iset.t;
@@ -90,6 +92,7 @@ type report = {
   degraded : bool;
   attempts : int;
   failures : failure list;
+  attempt_log : attempt_info list;
   check_bits_final : int;
   faulty_bits : int;
   fallback_bits : int;
@@ -103,6 +106,56 @@ let max_check_bits = 512
    (collision ~2^-32 per message), and growing them would make every retry
    a fatter flip target than the attempt that just failed. *)
 let transport_tag_bits = 32
+
+(* One guarded execution of [base] plus the equality check, as a reusable
+   primitive: [rng] must already be the per-attempt generator (both parties
+   derive base/check/transport labels from it), and [plan] must already be
+   salted for this attempt.  [Resilient.run] and the session layer
+   ([Session.Machine]) both drive their ladders through this function, so a
+   session attempt is bit-for-bit the same execution a resilient retry
+   would have performed. *)
+let attempt_once base ~plan ~check_bits ~attempt rng ~universe s t =
+  let base_rng = Prng.Rng.with_label rng "base" in
+  let check_rng = Prng.Rng.with_label rng "check" in
+  let frame_rng = Prng.Rng.with_label rng "transport" in
+  let outcome, cost, tallies =
+    Obsv.Trace.span Obsv.Phases.resilient_attempt
+      ~attrs:
+        [ ("attempt", string_of_int attempt); ("check_bits", string_of_int check_bits) ]
+      (fun () ->
+        Commsim.Two_party.run_faulty ~plan
+          ~alice:(fun chan ->
+            let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
+            let candidate = base.alice base_rng ~universe s chan in
+            let accepted =
+              Obsv.Trace.span Obsv.Phases.resilient_verify (fun () ->
+                  Equality.run_alice_set check_rng ~bits:check_bits chan candidate)
+            in
+            (candidate, accepted))
+          ~bob:(fun chan ->
+            let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
+            let candidate = base.bob base_rng ~universe t chan in
+            let accepted =
+              Obsv.Trace.span Obsv.Phases.resilient_verify (fun () ->
+                  Equality.run_bob_set check_rng ~bits:check_bits chan candidate)
+            in
+            (candidate, accepted)))
+  in
+  let verdict =
+    match outcome with
+    | Commsim.Network.Completed ((candidate_a, ok_a), (_candidate_b, ok_b)) ->
+        (* Both sides must have accepted: a flipped verdict bit can fool one
+           side, not the side that computed the comparison locally. *)
+        if ok_a && ok_b then Ok candidate_a else Error (Check_rejected, Some candidate_a)
+    | Commsim.Network.Lost d -> Error (Channel_lost d.Commsim.Network.detail, None)
+    | Commsim.Network.Crashed { rank; exn; after_messages } ->
+        Error
+          ( Party_crashed
+              (Printf.sprintf "player %d: %s (after consuming %d message(s))" rank exn
+                 after_messages),
+            None )
+  in
+  (verdict, cost, tallies)
 
 let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
   Protocol.validate_inputs ~universe s t;
@@ -121,7 +174,8 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
     acc_tallies := Commsim.Faults.merge !acc_tallies tallies;
     faulty_bits := !faulty_bits + cost.Commsim.Cost.total_bits
   in
-  let finish ~result ~verified ~degraded ~attempts ~failures ~width ~fallback_bits ~fallback_cost =
+  let finish ~result ~verified ~degraded ~attempts ~failures ~log ~width ~fallback_bits
+      ~fallback_cost =
     let cost =
       match fallback_cost with
       | None -> !acc_cost
@@ -133,6 +187,7 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
       degraded;
       attempts;
       failures = List.rev failures;
+      attempt_log = List.rev log;
       check_bits_final = width;
       faulty_bits = !faulty_bits;
       fallback_bits;
@@ -142,7 +197,7 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
   in
   (* The reliable fallback: the deterministic exchange on a clean channel,
      modelling a retransmitting transport of known worst-case cost. *)
-  let fallback ~attempts ~failures ~width =
+  let fallback ~attempts ~failures ~log ~width =
     Obsv.Metrics.incr "resilient/fallbacks";
     let (result, _), cost =
       Obsv.Trace.span Obsv.Phases.resilient_fallback (fun () ->
@@ -150,42 +205,25 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
             ~alice:(fun chan -> trivial_alice rng ~universe s chan)
             ~bob:(fun chan -> trivial_bob rng ~universe t chan))
     in
-    finish ~result ~verified:false ~degraded:true ~attempts ~failures ~width
+    finish ~result ~verified:false ~degraded:true ~attempts ~failures ~log ~width
       ~fallback_bits:cost.Commsim.Cost.total_bits ~fallback_cost:(Some cost)
   in
-  let rec attempt i ~width failures =
+  let rec attempt i ~width failures log =
     let attempt_rng = Prng.Rng.with_label rng (Printf.sprintf "resilient/attempt%d" i) in
-    let base_rng = Prng.Rng.with_label attempt_rng "base" in
-    let check_rng = Prng.Rng.with_label attempt_rng "check" in
-    let frame_rng = Prng.Rng.with_label attempt_rng "transport" in
     (* Each retry must face fresh channel noise: message indices restart at
        zero every run, so an unsalted plan would replay the exact damage
        that failed the previous attempt. *)
     Obsv.Metrics.incr "resilient/attempts";
     Obsv.Metrics.set_gauge "resilient/check_bits" width;
-    let outcome, cost, tallies =
-      Obsv.Trace.span Obsv.Phases.resilient_attempt
-        ~attrs:[ ("attempt", string_of_int i); ("check_bits", string_of_int width) ]
-        (fun () ->
-          Commsim.Two_party.run_faulty ~plan:(Commsim.Faults.reseed plan ~salt:i)
-            ~alice:(fun chan ->
-              let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
-              let candidate = base.alice base_rng ~universe s chan in
-              let accepted =
-                Obsv.Trace.span Obsv.Phases.resilient_verify (fun () ->
-                    Equality.run_alice_set check_rng ~bits:width chan candidate)
-              in
-              (candidate, accepted))
-            ~bob:(fun chan ->
-              let chan = guard frame_rng ~tag_bits:transport_tag_bits chan in
-              let candidate = base.bob base_rng ~universe t chan in
-              let accepted =
-                Obsv.Trace.span Obsv.Phases.resilient_verify (fun () ->
-                    Equality.run_bob_set check_rng ~bits:width chan candidate)
-              in
-              (candidate, accepted)))
+    let verdict, cost, tallies =
+      attempt_once base
+        ~plan:(Commsim.Faults.reseed plan ~salt:i)
+        ~check_bits:width ~attempt:i attempt_rng ~universe s t
     in
     record cost tallies;
+    let log_entry failure =
+      { index = i; width; bits = cost.Commsim.Cost.total_bits; failure }
+    in
     let retry failure =
       Obsv.Metrics.incr
         (match failure with
@@ -193,6 +231,7 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
         | Channel_lost _ -> "resilient/channel_lost"
         | Party_crashed _ -> "resilient/party_crashed");
       let failures = failure :: failures in
+      let log = log_entry (Some failure) :: log in
       (* Backoff in bits only answers check rejections: a rejection means
          the verification randomness itself may have been unlucky, so the
          next check buys exponentially more confidence.  Detected damage
@@ -203,22 +242,16 @@ let run base ~plan ?(budget = default_budget) ?check_bits rng ~universe s t =
         | Channel_lost _ | Party_crashed _ -> width
       in
       if i >= budget.attempts || !faulty_bits >= budget.bits then
-        fallback ~attempts:i ~failures ~width
-      else attempt (i + 1) ~width:width' failures
+        fallback ~attempts:i ~failures ~log ~width
+      else attempt (i + 1) ~width:width' failures log
     in
-    match outcome with
-    | Commsim.Network.Completed ((candidate_a, ok_a), (_candidate_b, ok_b)) ->
-        (* Both sides must have accepted: a flipped verdict bit can fool one
-           side, not the side that computed the comparison locally. *)
-        if ok_a && ok_b then
-          finish ~result:candidate_a ~verified:true ~degraded:false ~attempts:i ~failures ~width
-            ~fallback_bits:0 ~fallback_cost:None
-        else retry Check_rejected
-    | Commsim.Network.Lost d -> retry (Channel_lost d.Commsim.Network.detail)
-    | Commsim.Network.Crashed { rank; exn } ->
-        retry (Party_crashed (Printf.sprintf "player %d: %s" rank exn))
+    match verdict with
+    | Ok result ->
+        finish ~result ~verified:true ~degraded:false ~attempts:i ~failures
+          ~log:(log_entry None :: log) ~width ~fallback_bits:0 ~fallback_cost:None
+    | Error (failure, _unverified) -> retry failure
   in
-  attempt 1 ~width:check_bits0 []
+  attempt 1 ~width:check_bits0 [] []
 
 let failure_counts report =
   List.fold_left

@@ -40,7 +40,7 @@
     sandwich candidate ({!Protocol}) and be deterministic given its
     generator; both sides derive per-attempt randomness from the same
     labels, so a retry re-synchronizes the parties from scratch. *)
-type party = Prng.Rng.t -> universe:int -> Iset.t -> Commsim.Chan.t -> Iset.t
+type party = Prng.Rng.t -> universe:int -> Iset.t -> Commsim.Transport.t -> Iset.t
 
 (** A named pair of parties the resilient wrapper can retry. *)
 type base = { name : string; alice : party; bob : party }
@@ -73,7 +73,7 @@ exception Corrupted of string
     randomness) and the same [tag_bits].  Adds [20 + tag_bits] bits per
     message; undetected corruption probability is [~2^-tag_bits] per
     message. *)
-val guard : Prng.Rng.t -> tag_bits:int -> Commsim.Chan.t -> Commsim.Chan.t
+val guard : Prng.Rng.t -> tag_bits:int -> Commsim.Transport.t -> Commsim.Transport.t
 
 (** Why one attempt failed. *)
 type failure =
@@ -81,18 +81,51 @@ type failure =
   | Channel_lost of string  (** wedged on dropped messages (diagnosis) *)
   | Party_crashed of string  (** a party raised on a corrupted payload *)
 
+(** One row of the attempt log: the attempt's 1-based index, the check
+    width it ran at, the bits it burned over the faulty channel, and how it
+    ended ([None] = both sides accepted). *)
+type attempt_info = { index : int; width : int; bits : int; failure : failure option }
+
 type report = {
   result : Iset.t;
   verified : bool;  (** an equality check accepted the result *)
   degraded : bool;  (** budget exhausted; result from the trivial fallback *)
   attempts : int;  (** base executions, including aborted ones *)
   failures : failure list;  (** chronological; length [attempts - 1] or [attempts] *)
+  attempt_log : attempt_info list;
+      (** chronological, one row per attempt; the rows' [bits] sum to
+          [faulty_bits], and every row but a final successful one carries
+          [Some failure] — this is what the session layer and the chaos
+          harness aggregate wasted-bits and recovery-latency stats from *)
   check_bits_final : int;  (** fingerprint width of the last check *)
   faulty_bits : int;  (** bits metered over the adversarial channel *)
   fallback_bits : int;  (** bits of the reliable fallback (0 unless degraded) *)
   cost : Commsim.Cost.t;  (** aggregate over all attempts and the fallback *)
   tallies : Commsim.Faults.tallies;  (** total injected damage observed *)
 }
+
+(** [attempt_once base ~plan ~check_bits ~attempt rng ~universe s t]: one
+    guarded execution of [base] followed by one [check_bits]-bit equality
+    check, as a reusable primitive.  [rng] must already be the per-attempt
+    generator (base/check/transport labels are derived from it on both
+    sides) and [plan] must already be salted for this attempt; [attempt] is
+    only a trace-span attribute.  Returns the accepted candidate or the
+    {!failure} that ended the attempt, plus the attempt's cost and fault
+    tallies.  A rejected check additionally carries Alice's {e unverified}
+    candidate — the session layer checkpoints it as a best-effort partial
+    result; it must never be reported as exact.  {!run} and the session
+    ladder ([Session.Machine]) are both built on this, so a session attempt
+    is bit-for-bit the execution a resilient retry would have performed. *)
+val attempt_once :
+  base ->
+  plan:Commsim.Faults.plan ->
+  check_bits:int ->
+  attempt:int ->
+  Prng.Rng.t ->
+  universe:int ->
+  Iset.t ->
+  Iset.t ->
+  (Iset.t, failure * Iset.t option) result * Commsim.Cost.t * Commsim.Faults.tallies
 
 (** [run base ~plan ?budget ?check_bits rng ~universe s t].  [check_bits]
     (default [max 24 k], with [k] the larger input size) is the initial

@@ -7,7 +7,7 @@ let stage_eq_bits fl = max 8 (4 * Iterated_log.log2_ceil (fl + 1))
 (* Fallback for the budgeted variant: deterministic exchange of the
    original inputs over the same channel. *)
 let trivial_fallback role chan mine =
-  let open Commsim.Chan in
+  let open Commsim.Transport in
   Obsv.Metrics.incr "tree/fallbacks";
   Obsv.Trace.span Obsv.Phases.tree_fallback (fun () ->
       match role with
@@ -24,7 +24,7 @@ exception Over_budget
 
 let run_party ?buckets ?flat_eq_bits ?budget role rng ~universe ~r ~k chan mine =
   if r < 1 || k < 1 then invalid_arg "Tree_protocol.run_party";
-  let open Commsim.Chan in
+  let open Commsim.Transport in
   (* both parties see every message once, so sent + received is a shared
      counter and budget decisions stay in lockstep *)
   let seen_bits = ref 0 in

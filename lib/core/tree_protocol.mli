@@ -36,7 +36,7 @@ val run_party :
   universe:int ->
   r:int ->
   k:int ->
-  Commsim.Chan.t ->
+  Commsim.Transport.t ->
   Iset.t ->
   Iset.t
 

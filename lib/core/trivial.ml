@@ -6,16 +6,16 @@ let protocol =
       (fun _rng ~universe s t ->
         Protocol.validate_inputs ~universe s t;
         let alice chan =
-          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> chan.Commsim.Chan.send (Wire.of_set s));
-          Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> Commsim.Transport.send chan (Wire.of_set s));
+          Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan))
         in
         let bob chan =
           let received =
-            Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+            Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan))
           in
           let intersection = Iset.inter received t in
           Obsv.Trace.span Obsv.Phases.trivial_reply (fun () ->
-              chan.Commsim.Chan.send (Wire.of_set intersection));
+              Commsim.Transport.send chan (Wire.of_set intersection));
           intersection
         in
         let (alice, bob), cost = Commsim.Two_party.run ~alice ~bob in
@@ -34,13 +34,13 @@ let protocol_entropy =
         in
         let decode payload = Bitio.Enum_codec.read (Bitio.Bitreader.create payload) ~universe in
         let alice chan =
-          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> chan.Commsim.Chan.send (encode s));
-          decode (chan.Commsim.Chan.recv ())
+          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> Commsim.Transport.send chan (encode s));
+          decode (Commsim.Transport.recv chan)
         in
         let bob chan =
-          let received = decode (chan.Commsim.Chan.recv ()) in
+          let received = decode (Commsim.Transport.recv chan) in
           let intersection = Iset.inter received t in
-          Obsv.Trace.span Obsv.Phases.trivial_reply (fun () -> chan.Commsim.Chan.send (encode intersection));
+          Obsv.Trace.span Obsv.Phases.trivial_reply (fun () -> Commsim.Transport.send chan (encode intersection));
           intersection
         in
         let (alice, bob), cost = Commsim.Two_party.run ~alice ~bob in
@@ -55,9 +55,9 @@ let protocol_full_exchange =
       (fun _rng ~universe s t ->
         Protocol.validate_inputs ~universe s t;
         let party mine chan =
-          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> chan.Commsim.Chan.send (Wire.of_set mine));
+          Obsv.Trace.span Obsv.Phases.trivial_offer (fun () -> Commsim.Transport.send chan (Wire.of_set mine));
           let theirs =
-            Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (chan.Commsim.Chan.recv ()))
+            Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan))
           in
           Iset.inter mine theirs
         in

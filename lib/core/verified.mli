@@ -53,6 +53,6 @@ val run_party :
   Prng.Rng.t ->
   bits:int ->
   max_attempts:int ->
-  Commsim.Chan.t ->
-  party:(Prng.Rng.t -> Commsim.Chan.t -> Iset.t) ->
+  Commsim.Transport.t ->
+  party:(Prng.Rng.t -> Commsim.Transport.t -> Iset.t) ->
   party_result

@@ -74,9 +74,9 @@ let run_internal ?r ?(max_attempts = 30) ~broadcast rng ~universe ~k sets =
                 for t = depth downto 1 do
                   let half = 1 lsl (t - 1) in
                   if my_pos mod (1 lsl t) = 0 && my_pos + half < g then
-                    (chan_to (my_pos + half)).Commsim.Chan.send (Wire.bit_msg !verdict)
+                    Commsim.Transport.send (chan_to (my_pos + half)) (Wire.bit_msg !verdict)
                   else if my_pos mod (1 lsl t) = half then
-                    verdict := Wire.read_bit_msg ((chan_to (my_pos - half)).Commsim.Chan.recv ())
+                    verdict := Wire.read_bit_msg (Commsim.Transport.recv (chan_to (my_pos - half)))
                 done)
           end;
           (!candidate, !verdict)

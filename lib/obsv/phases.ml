@@ -14,6 +14,10 @@ let multiparty_broadcast = "multiparty/broadcast"
 let resilient_attempt = "resilient/attempt"
 let resilient_fallback = "resilient/fallback"
 let resilient_verify = "resilient/verify"
+let session_attempt = "session/attempt"
+let session_backoff = "session/backoff"
+let session_fallback = "session/fallback"
+let session_resume = "session/resume"
 let star_coordinate = "star/coordinate"
 let star_pair = "star/pair"
 let tour_pass = "tour/pass"
@@ -41,6 +45,10 @@ let all =
     resilient_attempt;
     resilient_fallback;
     resilient_verify;
+    session_attempt;
+    session_backoff;
+    session_fallback;
+    session_resume;
     star_coordinate;
     star_pair;
     tour_pass;

@@ -43,6 +43,13 @@ val resilient_attempt : string
 val resilient_fallback : string
 val resilient_verify : string
 
+(** {2 Session (robustness layer)} *)
+
+val session_attempt : string
+val session_backoff : string
+val session_fallback : string
+val session_resume : string
+
 (** {2 Tree_protocol (Theorem 3.6)} *)
 
 val tree_eq : string

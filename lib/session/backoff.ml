@@ -1,0 +1,15 @@
+let ticks ~seed ~base ~cap ~attempt =
+  if base < 0 then invalid_arg "Backoff.ticks: base must be >= 0";
+  if cap < base then invalid_arg "Backoff.ticks: cap must be >= base";
+  if attempt < 1 then invalid_arg "Backoff.ticks: attempt must be >= 1";
+  if base = 0 then 0
+  else begin
+    (* base * 2^(attempt-1), saturating at cap without overflow. *)
+    let rec double acc i = if i <= 0 || acc >= cap then min acc cap else double (acc * 2) (i - 1) in
+    let ceiling = double base (attempt - 1) in
+    let floor = ceiling / 2 in
+    let rng =
+      Prng.Rng.with_label (Prng.Rng.of_int seed) (Printf.sprintf "session/backoff%d" attempt)
+    in
+    floor + Prng.Rng.int rng (ceiling - floor + 1)
+  end

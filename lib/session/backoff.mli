@@ -1,0 +1,18 @@
+(** Seeded exponential backoff with deterministic jitter.
+
+    The session layer waits between retry attempts in {e event time} —
+    abstract ticks charged against the same deadline budget as wire bits —
+    so the pause is part of the reproducible execution, not a wall-clock
+    sleep.  The wait before retry [attempt] uses "equal jitter": half the
+    exponential ceiling is fixed, half is drawn uniformly from the shared
+    random string ({!Prng.Rng.with_label} under a per-attempt label), so
+    two sessions with different seeds desynchronize their retries while a
+    single session replays the exact same schedule from its seed. *)
+
+(** [ticks ~seed ~base ~cap ~attempt] is the event-time wait before retry
+    number [attempt] (1-based): uniform in [\[c/2, c\]] where
+    [c = min cap (base * 2^(attempt-1))].  A pure function of its
+    arguments — no ambient randomness, no clock.  [base = 0] disables
+    backoff entirely.  Raises [Invalid_argument] on [base < 0],
+    [cap < base], or [attempt < 1]. *)
+val ticks : seed:int -> base:int -> cap:int -> attempt:int -> int

@@ -1,0 +1,177 @@
+type t = {
+  fingerprint : string;
+  attempts : int;
+  resumes : int;
+  width : int;
+  spent_bits : int;
+  backoff_ticks : int;
+  wasted_bits : int;
+  failures : (string * string) list;
+  candidate : Iset.t option;
+  cost : Commsim.Cost.t;
+}
+
+let version = 1
+
+let cost_json (c : Commsim.Cost.t) =
+  Stats.Json.Obj
+    [
+      ( "players",
+        Stats.Json.List
+          (Array.to_list c.Commsim.Cost.players
+          |> List.map (fun (p : Commsim.Cost.player) ->
+                 Stats.Json.Obj
+                   [
+                     ("sent_bits", Stats.Json.Int p.Commsim.Cost.sent_bits);
+                     ("received_bits", Stats.Json.Int p.Commsim.Cost.received_bits);
+                     ("sent_messages", Stats.Json.Int p.Commsim.Cost.sent_messages);
+                   ])) );
+      ("total_bits", Stats.Json.Int c.Commsim.Cost.total_bits);
+      ("messages", Stats.Json.Int c.Commsim.Cost.messages);
+      ("rounds", Stats.Json.Int c.Commsim.Cost.rounds);
+    ]
+
+let to_json t =
+  Stats.Json.Obj
+    [
+      ("version", Stats.Json.Int version);
+      ("fingerprint", Stats.Json.Str t.fingerprint);
+      ("attempts", Stats.Json.Int t.attempts);
+      ("resumes", Stats.Json.Int t.resumes);
+      ("width", Stats.Json.Int t.width);
+      ("spent_bits", Stats.Json.Int t.spent_bits);
+      ("backoff_ticks", Stats.Json.Int t.backoff_ticks);
+      ("wasted_bits", Stats.Json.Int t.wasted_bits);
+      ( "failures",
+        Stats.Json.List
+          (List.map
+             (fun (kind, detail) ->
+               Stats.Json.Obj
+                 [ ("kind", Stats.Json.Str kind); ("detail", Stats.Json.Str detail) ])
+             t.failures) );
+      ( "candidate",
+        match t.candidate with
+        | None -> Stats.Json.Null
+        | Some c ->
+            Stats.Json.List (Array.to_list c |> List.map (fun x -> Stats.Json.Int x)) );
+      ("cost", cost_json t.cost);
+    ]
+
+let to_string t = Stats.Json.to_string (to_json t)
+
+let ( let* ) = Result.bind
+
+let field name conv obj =
+  match Stats.Json.member name obj with
+  | None -> Error (Printf.sprintf "checkpoint: missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "checkpoint: malformed field %S" name))
+
+let nonneg name v = if v < 0 then Error (Printf.sprintf "checkpoint: negative %S" name) else Ok v
+
+let parse_player v =
+  let* sent_bits = field "sent_bits" Stats.Json.to_int_opt v in
+  let* received_bits = field "received_bits" Stats.Json.to_int_opt v in
+  let* sent_messages = field "sent_messages" Stats.Json.to_int_opt v in
+  Ok { Commsim.Cost.sent_bits; received_bits; sent_messages }
+
+let parse_cost v =
+  let* players = field "players" Stats.Json.to_list_opt v in
+  let* players =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* p = parse_player p in
+        Ok (p :: acc))
+      (Ok []) players
+  in
+  let players = Array.of_list (List.rev players) in
+  if Array.length players <> 2 then Error "checkpoint: cost must cover exactly 2 players"
+  else
+    let* total_bits = field "total_bits" Stats.Json.to_int_opt v in
+    let* messages = field "messages" Stats.Json.to_int_opt v in
+    let* rounds = field "rounds" Stats.Json.to_int_opt v in
+    Ok { Commsim.Cost.players; total_bits; messages; rounds }
+
+let parse_failure v =
+  let* kind = field "kind" Stats.Json.to_string_opt v in
+  let* detail = field "detail" Stats.Json.to_string_opt v in
+  Ok (kind, detail)
+
+let parse_candidate v =
+  match v with
+  | Stats.Json.Null -> Ok None
+  | Stats.Json.List elems ->
+      let* elems =
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            match Stats.Json.to_int_opt e with
+            | Some x -> Ok (x :: acc)
+            | None -> Error "checkpoint: non-integer candidate element")
+          (Ok []) elems
+      in
+      let arr = Array.of_list (List.rev elems) in
+      if Iset.is_valid arr then Ok (Some arr)
+      else Error "checkpoint: candidate is not a strictly increasing set"
+  | _ -> Error "checkpoint: malformed field \"candidate\""
+
+let of_json v =
+  let* got_version = field "version" Stats.Json.to_int_opt v in
+  if got_version <> version then
+    Error (Printf.sprintf "checkpoint: version %d, expected %d" got_version version)
+  else
+    let* fingerprint = field "fingerprint" Stats.Json.to_string_opt v in
+    let* attempts = Result.bind (field "attempts" Stats.Json.to_int_opt v) (nonneg "attempts") in
+    let* resumes = Result.bind (field "resumes" Stats.Json.to_int_opt v) (nonneg "resumes") in
+    let* width = field "width" Stats.Json.to_int_opt v in
+    let* width = if width < 1 then Error "checkpoint: width must be >= 1" else Ok width in
+    let* spent_bits =
+      Result.bind (field "spent_bits" Stats.Json.to_int_opt v) (nonneg "spent_bits")
+    in
+    let* backoff_ticks =
+      Result.bind (field "backoff_ticks" Stats.Json.to_int_opt v) (nonneg "backoff_ticks")
+    in
+    let* wasted_bits =
+      Result.bind (field "wasted_bits" Stats.Json.to_int_opt v) (nonneg "wasted_bits")
+    in
+    let* failures = field "failures" Stats.Json.to_list_opt v in
+    let* failures =
+      List.fold_left
+        (fun acc f ->
+          let* acc = acc in
+          let* f = parse_failure f in
+          Ok (f :: acc))
+        (Ok []) failures
+    in
+    let failures = List.rev failures in
+    let* candidate =
+      match Stats.Json.member "candidate" v with
+      | None -> Error "checkpoint: missing field \"candidate\""
+      | Some c -> parse_candidate c
+    in
+    let* cost =
+      match Stats.Json.member "cost" v with
+      | None -> Error "checkpoint: missing field \"cost\""
+      | Some c -> parse_cost c
+    in
+    Ok
+      {
+        fingerprint;
+        attempts;
+        resumes;
+        width;
+        spent_bits;
+        backoff_ticks;
+        wasted_bits;
+        failures;
+        candidate;
+        cost;
+      }
+
+let of_string s =
+  match Stats.Json.of_string s with
+  | Error e -> Error (Printf.sprintf "checkpoint: invalid JSON (%s)" e)
+  | Ok v -> of_json v

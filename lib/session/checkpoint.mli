@@ -1,0 +1,41 @@
+(** Serializable session snapshots.
+
+    A checkpoint captures everything a {!Machine} needs to continue a
+    session after an interruption {e except} the immutable configuration
+    (including the fault plan), which the resuming caller must supply
+    again: progress counters, the check width the next attempt will run
+    at, the cost ledger so far, the chronological failure history, and the
+    best-effort (unverified) candidate, if any.  [fingerprint] digests the
+    configuration the snapshot was taken under; [Machine.restore] refuses
+    a checkpoint whose fingerprint does not match the supplied config, so
+    a snapshot cannot silently resume under different parameters.
+
+    The codec is a single-line JSON object ({!Stats.Json}) with an
+    explicit [version] field; {!of_string} validates shape, version,
+    non-negativity of every counter, and canonicity of the candidate set.
+    Round-tripping is exact: [of_string (to_string t) = Ok t]. *)
+
+type t = {
+  fingerprint : string;  (** config digest; checked by [Machine.restore] *)
+  attempts : int;  (** faulty attempts already spent *)
+  resumes : int;  (** times this session was resumed before the snapshot *)
+  width : int;  (** check width the next attempt will run at *)
+  spent_bits : int;  (** wire bits charged against the deadline so far *)
+  backoff_ticks : int;  (** event-time ticks charged against the deadline *)
+  wasted_bits : int;  (** wire bits of attempts that produced nothing *)
+  failures : (string * string) list;
+      (** chronological [(kind, detail)]; kinds are validated on restore *)
+  candidate : Iset.t option;  (** best-effort {e unverified} partial result *)
+  cost : Commsim.Cost.t;  (** aggregate simulator cost so far *)
+}
+
+(** Codec version emitted by {!to_string} and required by {!of_string}. *)
+val version : int
+
+val to_json : t -> Stats.Json.t
+
+(** Single-line JSON. *)
+val to_string : t -> string
+
+val of_json : Stats.Json.t -> (t, string) result
+val of_string : string -> (t, string) result

@@ -76,6 +76,7 @@ type cell = {
   truncated : int;
   duplicated : int;
   dropped : int;
+  first_failure : string option;
 }
 
 type report = { config : config; cells : cell list }
@@ -189,6 +190,18 @@ let run_cell ?domains (config : config) base ~proto_name ~plan_name ~link ~basel
     truncated = tally.Commsim.Faults.truncated_messages;
     duplicated = tally.Commsim.Faults.duplicated_messages;
     dropped = tally.Commsim.Faults.dropped_messages;
+    (* The first carried diagnosis in the cell — the concrete "who wedged
+       on which message" sample a human reaches for when a cell looks bad. *)
+    first_failure =
+      List.find_map
+        (fun r ->
+          List.find_map
+            (function
+              | Resilient.Check_rejected -> None
+              | Resilient.Channel_lost d -> Some ("channel lost: " ^ d)
+              | Resilient.Party_crashed d -> Some ("party crashed: " ^ d))
+            r.Resilient.failures)
+        reports;
   }
 
 let run ?domains (config : config) =
@@ -244,6 +257,8 @@ let json_of_cell c =
             ("duplicated", Stats.Json.Int c.duplicated);
             ("dropped", Stats.Json.Int c.dropped);
           ] );
+      ( "first_failure",
+        match c.first_failure with None -> Stats.Json.Null | Some d -> Stats.Json.Str d );
     ]
 
 let to_json ?reproduce report =

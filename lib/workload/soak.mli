@@ -61,6 +61,11 @@ type cell = {
   truncated : int;
   duplicated : int;
   dropped : int;
+  first_failure : string option;
+      (** the first carried failure diagnosis observed in the cell (rank,
+          message index and consumed-message counts from
+          {!Commsim.Network}); [None] when every attempt's only failures
+          were check rejections *)
 }
 
 type report = { config : config; cells : cell list }

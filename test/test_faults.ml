@@ -120,7 +120,7 @@ let test_crash_is_captured () =
         failwith "codec choked")
   in
   match outcome with
-  | Network.Crashed { rank; exn } ->
+  | Network.Crashed { rank; exn; _ } ->
       check "crashing player" 1 rank;
       check_bool "exception text preserved" true
         (String.length exn > 0)
@@ -147,8 +147,8 @@ let test_replay_determinism () =
     ((match (outcome1, outcome2) with
      | Network.Completed _, Network.Completed _ -> true
      | Network.Lost a, Network.Lost b -> a = b
-     | ( Network.Crashed { rank = ra; exn = ea },
-         Network.Crashed { rank = rb; exn = eb } ) -> ra = rb && ea = eb
+     | ( Network.Crashed { rank = ra; exn = ea; _ },
+         Network.Crashed { rank = rb; exn = eb; _ } ) -> ra = rb && ea = eb
      | _ -> false));
   check_bool "cost replays" true (cost1 = cost2);
   check_bool "trace replays" true (trace1 = trace2);
@@ -221,7 +221,7 @@ let test_guard_detects_flips () =
       ~bob:(fun chan -> ignore (chan.Chan.recv ()))
   in
   match outcome with
-  | Network.Crashed { rank; exn } ->
+  | Network.Crashed { rank; exn; _ } ->
       check "the receiver aborts" 1 rank;
       check_bool "as a detected corruption" true
         (String.length exn > 0)

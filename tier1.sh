@@ -1,10 +1,12 @@
 #!/bin/sh
 # Tier-1 gate: static analysis, full build + test suite, a seconds-scale
 # soak smoke of the resilient wrapper against adversarial channels (exits
-# non-zero if any cell violates the paper's error bound), and an
-# observability smoke: the trace subcommand must emit valid JSON and the
-# profile subcommand must account for every metered bit (it exits
-# non-zero on a phase-sum mismatch).
+# non-zero if any cell violates the paper's error bound), a chaos
+# campaign smoke of the session robustness layer (never a wrong
+# intersection, resumes replay identically), and an observability smoke:
+# the trace subcommand must emit valid JSON and the profile subcommand
+# must account for every metered bit (it exits non-zero on a phase-sum
+# mismatch).
 set -eu
 cd "$(dirname "$0")"
 
@@ -40,6 +42,19 @@ dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 1 > 
 dune exec bin/intersect_cli.exe -- soak --smoke --trials 8 --json --domains 2 > "$soak_d2"
 cmp "$soak_d1" "$soak_d2"
 
+# Chaos campaign smoke: the committed BENCH_chaos.json must be
+# schema-valid (outcome taxonomy partitions the trials, zero wrong
+# intersections, every resume replayed identically), a seconds-scale
+# campaign must uphold the same invariant live (chaos.exe exits non-zero
+# on any violation), and two runs of the same campaign must emit
+# byte-identical reports.
+./_build/default/bin/json_check.exe --bench-chaos < BENCH_chaos.json
+chaos_a=$(mktemp) && chaos_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$chaos_a" "$chaos_b"' EXIT
+dune exec bench/chaos.exe -- --smoke --json > "$chaos_a"
+dune exec bench/chaos.exe -- --smoke --json --domains 2 > "$chaos_b"
+cmp "$chaos_a" "$chaos_b"
+
 # Hot-path regression smoke: the committed BENCH_hotpath.json must be
 # schema-valid, the k=64 sweep must reproduce its deterministic fields
 # (bits / messages / rounds) exactly — timings get a generous 4x headroom
@@ -48,7 +63,7 @@ cmp "$soak_d1" "$soak_d2"
 ./_build/default/bin/json_check.exe --bench-hotpath < BENCH_hotpath.json
 dune exec bench/regress.exe -- --smoke --trials 3 --baseline BENCH_hotpath.json --tolerance 3.0 > /dev/null
 det_a=$(mktemp) && det_b=$(mktemp)
-trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$det_a" "$det_b"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$chaos_a" "$chaos_b" "$det_a" "$det_b"' EXIT
 dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_a"
 dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_b"
 cmp "$det_a" "$det_b"
