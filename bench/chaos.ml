@@ -16,7 +16,7 @@
 open Cmdliner
 
 let run smoke seed trials k universe_bits overlap deadline rung_attempts check_bits out
-    json_only domains =
+    json_only domains telemetry_out =
   let base = if smoke then Workload.Chaos.smoke else Workload.Chaos.default in
   let override v = function Some v' -> v' | None -> v in
   let config =
@@ -42,7 +42,19 @@ let run smoke seed trials k universe_bits overlap deadline rung_attempts check_b
       config.Workload.Chaos.seed config.Workload.Chaos.trials config.Workload.Chaos.k
       config.Workload.Chaos.overlap
   in
-  let report = Workload.Chaos.run ?domains config in
+  let sink = match telemetry_out with None -> None | Some _ -> Some (Workload.Telemetry.create_sink ()) in
+  let report = Workload.Chaos.run ?domains ?sink config in
+  (match (telemetry_out, sink) with
+  | Some path, Some sink ->
+      let oc = open_out path in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (Workload.Telemetry.jsonl sink);
+      close_out oc;
+      if not json_only then Printf.printf "telemetry stream written to %s\n" path
+  | _ -> ());
   if not json_only then print_string (Workload.Chaos.summary report);
   let json = Stats.Json.to_string_pretty (Workload.Chaos.to_json ~reproduce report) in
   (match out with
@@ -79,10 +91,19 @@ let cmd =
     some_int [ "domains" ]
       "D" "Engine worker domains (default: one per core; the report is identical for any value)."
   in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Write the fleet-telemetry JSONL stream (snapshots, rates, post-mortems) here; also \
+             enables per-session flight recorders.")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Run chaos campaigns against the session robustness layer.")
     Term.(
       const run $ smoke $ seed $ trials $ k $ universe_bits $ overlap $ deadline
-      $ rung_attempts $ check_bits $ out $ json_only $ domains)
+      $ rung_attempts $ check_bits $ out $ json_only $ domains $ telemetry_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,7 +12,8 @@
 
 open Cmdliner
 
-let run smoke seed trials k universe_bits overlap attempts check_bits out json_only domains =
+let run smoke seed trials k universe_bits overlap attempts check_bits out json_only domains
+    telemetry_out =
   let base = if smoke then Workload.Soak.smoke else Workload.Soak.default in
   let override v = function Some v' -> v' | None -> v in
   let config =
@@ -37,7 +38,19 @@ let run smoke seed trials k universe_bits overlap attempts check_bits out json_o
       config.Workload.Soak.seed config.Workload.Soak.trials config.Workload.Soak.k
       config.Workload.Soak.overlap
   in
-  let report = Workload.Soak.run ?domains config in
+  let sink = match telemetry_out with None -> None | Some _ -> Some (Workload.Telemetry.create_sink ()) in
+  let report = Workload.Soak.run ?domains ?sink config in
+  (match (telemetry_out, sink) with
+  | Some path, Some sink ->
+      let oc = open_out path in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (Workload.Telemetry.jsonl sink);
+      close_out oc;
+      if not json_only then Printf.printf "telemetry stream written to %s\n" path
+  | _ -> ());
   if not json_only then print_string (Workload.Soak.summary report);
   let json = Stats.Json.to_string_pretty (Workload.Soak.to_json ~reproduce report) in
   (match out with
@@ -67,10 +80,17 @@ let cmd =
     some_int [ "domains" ]
       "D" "Engine worker domains (default: one per core; the report is identical for any value)."
   in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Write the fleet-telemetry JSONL stream (snapshots and derived rates) here.")
+  in
   Cmd.v
     (Cmd.info "soak" ~doc:"Soak intersection protocols against adversarial channels.")
     Term.(
       const run $ smoke $ seed $ trials $ k $ universe_bits $ overlap $ attempts $ check_bits $ out
-      $ json_only $ domains)
+      $ json_only $ domains $ telemetry_out)
 
 let () = exit (Cmd.eval' cmd)

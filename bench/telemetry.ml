@@ -1,0 +1,89 @@
+(* Telemetry overhead bench entry point.
+
+   Runs the same seeded clean-link sessions twice — telemetry off, then
+   telemetry on (fleet registry + per-session flight recorder + quantile
+   sketches) — and reports the wall-clock ratio plus the deterministic
+   session fields, which must be identical between the passes (telemetry
+   must observe, never perturb).
+
+     dune exec bench/telemetry.exe                     # k=1024, 24 sessions
+     dune exec bench/telemetry.exe -- --smoke          # seconds-scale CI configuration
+     dune exec bench/telemetry.exe -- --out BENCH_telemetry.json --max-ratio 1.25
+
+   With --max-ratio the bench exits non-zero when the enabled/disabled
+   ratio exceeds the bound (or when the deterministic fields diverge) —
+   the regression gate behind BENCH_telemetry.json. *)
+
+open Cmdliner
+
+let run smoke seed k universe_bits sessions out json_only max_ratio =
+  let base =
+    if smoke then Workload.Telemetry.overhead_smoke else Workload.Telemetry.overhead_default
+  in
+  let override v = function Some v' -> v' | None -> v in
+  let config =
+    {
+      Workload.Telemetry.seed = override base.Workload.Telemetry.seed seed;
+      k = override base.Workload.Telemetry.k k;
+      universe_bits = override base.Workload.Telemetry.universe_bits universe_bits;
+      sessions = override base.Workload.Telemetry.sessions sessions;
+    }
+  in
+  let reproduce =
+    Printf.sprintf "dune exec bench/telemetry.exe --%s --seed %d --k %d --sessions %d"
+      (if smoke then " --smoke" else "")
+      config.Workload.Telemetry.seed config.Workload.Telemetry.k
+      config.Workload.Telemetry.sessions
+  in
+  let report = Workload.Telemetry.run_overhead config in
+  if not json_only then print_endline (Workload.Telemetry.overhead_summary report);
+  let json =
+    Stats.Json.to_string_pretty (Workload.Telemetry.overhead_json ~reproduce report)
+  in
+  (match out with
+  | None -> if json_only then print_endline json
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      if not json_only then Printf.printf "JSON report written to %s\n" path);
+  if not report.Workload.Telemetry.deterministic_match then begin
+    Printf.eprintf "telemetry bench: deterministic session fields diverged between passes\n";
+    1
+  end
+  else
+    match max_ratio with
+    | Some bound when report.Workload.Telemetry.ratio > bound ->
+        Printf.eprintf "telemetry bench: overhead ratio %.3f exceeds bound %.3f\n"
+          report.Workload.Telemetry.ratio bound;
+        1
+    | _ -> 0
+
+let some_int names docv doc = Arg.(value & opt (some int) None & info names ~docv ~doc)
+
+let cmd =
+  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale CI configuration.") in
+  let seed = some_int [ "seed" ] "SEED" "Root seed (default 2014)." in
+  let k = some_int [ "k" ] "K" "Input set size per session." in
+  let universe_bits = some_int [ "universe-bits" ] "B" "Universe size 2^B." in
+  let sessions = some_int [ "sessions" ] "N" "Sessions per pass." in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.")
+  in
+  let json_only = Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON report.") in
+  let max_ratio =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-ratio" ] ~docv:"R"
+          ~doc:"Fail when the telemetry-on/off wall-clock ratio exceeds R.")
+  in
+  Cmd.v
+    (Cmd.info "telemetry" ~doc:"Measure the hot-path overhead of the fleet-telemetry layer.")
+    Term.(const run $ smoke $ seed $ k $ universe_bits $ sessions $ out $ json_only $ max_ratio)
+
+let () = exit (Cmd.eval' cmd)

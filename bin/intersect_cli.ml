@@ -466,6 +466,33 @@ let profile_cmd =
             print_newline ();
             print_endline "metrics:";
             print_endline (Stats.Json.to_string_pretty (Obsv.Metrics.to_json registry));
+            (match Obsv.Metrics.histograms_list registry with
+            | [] -> ()
+            | hists ->
+                print_newline ();
+                let qtable =
+                  Stats.Table.create ~title:"histogram quantiles (log2-bucket upper bounds)"
+                    ~columns:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
+                in
+                List.iter
+                  (fun (hname, h) ->
+                    let q pm =
+                      match Obsv.Metrics.histogram_quantile h ~per_mille:pm with
+                      | Some v -> string_of_int v
+                      | None -> "-"
+                    in
+                    Stats.Table.add_row qtable
+                      [
+                        hname;
+                        string_of_int h.Obsv.Metrics.count;
+                        q 500;
+                        q 900;
+                        q 990;
+                        string_of_int h.Obsv.Metrics.max_v;
+                      ])
+                  hists;
+                Stats.Table.print qtable);
+            print_newline ();
             Printf.printf "phase bits %d %s Cost.total_bits %d\n" phase_bits
               (if exact then "=" else "<>")
               cost.Commsim.Cost.total_bits
@@ -568,6 +595,218 @@ let chaos_cmd =
       $ Arg.(value & opt int 16 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
       $ Arg.(value & opt int 20 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
       $ overlap_arg $ domains_arg)
+
+(* ---------- health / top: fleet telemetry over a chaos campaign ---------- *)
+
+(* Both fleet views drive the chaos matrix with a telemetry sink.  The
+   deadline-squeeze campaign is excluded by default: it exists to force
+   failed-safe outcomes, which would make every default health check red.
+   --all-campaigns puts it back for deliberate SLO-violation drills. *)
+let fleet_config ~smoke ~trials ~seed ~k ~universe_bits ~overlap ~all_campaigns =
+  let base = if smoke then Workload.Chaos.smoke else Workload.Chaos.default in
+  let campaigns =
+    if all_campaigns then base.Workload.Chaos.campaigns
+    else List.filter (fun (name, _) -> name <> "deadline-squeeze") base.Workload.Chaos.campaigns
+  in
+  {
+    base with
+    Workload.Chaos.seed;
+    trials = Option.value trials ~default:base.Workload.Chaos.trials;
+    k;
+    universe_bits;
+    overlap = Option.value overlap ~default:(k / 2);
+    campaigns;
+  }
+
+let write_telemetry path sink =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun line ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+        (Workload.Telemetry.jsonl sink));
+  Printf.eprintf "telemetry stream written to %s\n" path
+
+let fleet_smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale configuration.")
+
+let fleet_trials_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trials" ] ~docv:"N" ~doc:"Trials per (protocol x campaign) cell.")
+
+let fleet_seed_arg = Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let fleet_k_arg =
+  Arg.(value & opt int 16 & info [ "k"; "set-size" ] ~docv:"K" ~doc:"Set-size bound.")
+
+let fleet_universe_arg =
+  Arg.(value & opt int 20 & info [ "universe-bits" ] ~docv:"B" ~doc:"Universe size 2^B.")
+
+let all_campaigns_arg =
+  Arg.(
+    value & flag
+    & info [ "all-campaigns" ]
+        ~doc:
+          "Include the deadline-squeeze campaign (deliberately drives failed-safe sessions, so \
+           expect a red failed-safe-rate verdict).")
+
+let telemetry_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE"
+        ~doc:"Write the JSONL telemetry stream (snapshots, rates, post-mortems) to $(docv).")
+
+let slos_term =
+  let some_pm names doc = Arg.(value & opt (some int) None & info names ~docv:"PM" ~doc) in
+  let mk failed degraded burn =
+    let d = Obsv.Health.default_slos in
+    {
+      Obsv.Health.max_failed_safe_per_mille =
+        Option.value failed ~default:d.Obsv.Health.max_failed_safe_per_mille;
+      max_degraded_per_mille =
+        Option.value degraded ~default:d.Obsv.Health.max_degraded_per_mille;
+      max_p99_burn_per_mille = Option.value burn ~default:d.Obsv.Health.max_p99_burn_per_mille;
+    }
+  in
+  Term.(
+    const mk
+    $ some_pm [ "max-failed-safe" ] "Failed-safe rate SLO in per-mille (default 50)."
+    $ some_pm [ "max-degraded" ] "Degraded (fallback) rate SLO in per-mille (default 250)."
+    $ some_pm [ "max-p99-burn" ]
+        "p99 deadline-burn SLO in per-mille of the session deadline (default 900).")
+
+let health_verdict ~violations (h : Obsv.Health.report) =
+  List.iter (Printf.eprintf "chaos invariant violated: %s\n") violations;
+  List.iter
+    (fun (v : Obsv.Health.verdict) ->
+      if not v.Obsv.Health.ok then
+        Printf.eprintf "health: SLO %s violated: %s\n" v.Obsv.Health.slo v.Obsv.Health.detail)
+    h.Obsv.Health.verdicts;
+  if h.Obsv.Health.ok && violations = [] then 0 else 1
+
+let health_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the health report as JSON instead of the table.")
+  in
+  let run smoke json trials seed k universe_bits overlap all_campaigns slos telemetry_out domains =
+    let config = fleet_config ~smoke ~trials ~seed ~k ~universe_bits ~overlap ~all_campaigns in
+    let sink = Workload.Telemetry.create_sink () in
+    let report = Workload.Chaos.run ?domains ~sink config in
+    let violations = Workload.Chaos.invariant_violations report in
+    (match telemetry_out with None -> () | Some path -> write_telemetry path sink);
+    match Workload.Telemetry.health ~slos sink with
+    | None ->
+        prerr_endline "health: campaign recorded no snapshots";
+        1
+    | Some h ->
+        if json then
+          print_endline
+            (Stats.Json.to_string_pretty
+               (Stats.Json.Obj
+                  [
+                    ("health", Obsv.Health.to_json h);
+                    ("slos", Obsv.Health.slos_json slos);
+                  ]))
+        else begin
+          Stats.Table.print (Obsv.Health.table h);
+          Printf.printf "fleet: %d sessions over %d cells; verdict %s\n"
+            h.Obsv.Health.sessions
+            (List.length report.Workload.Chaos.cells)
+            (if h.Obsv.Health.ok && violations = [] then "HEALTHY" else "UNHEALTHY")
+        end;
+        health_verdict ~violations h
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run the chaos campaign matrix with fleet telemetry enabled and score the final \
+          snapshot against the declared SLOs (wrong-answer rate is hard-wired to zero; \
+          failed-safe / degraded / p99-deadline-burn rates take per-mille thresholds).  Exits \
+          non-zero on any SLO or chaos-invariant violation.")
+    Term.(
+      const run $ fleet_smoke_arg $ json_arg $ fleet_trials_arg $ fleet_seed_arg $ fleet_k_arg
+      $ fleet_universe_arg $ overlap_arg $ all_campaigns_arg $ slos_term $ telemetry_out_arg
+      $ domains_arg)
+
+let top_cmd =
+  let no_ansi_arg =
+    Arg.(
+      value & flag
+      & info [ "no-ansi" ]
+          ~doc:"Append frames instead of redrawing in place (for logs and dumb terminals).")
+  in
+  let render_frame ~no_ansi ~idx ~total ~protocol ~campaign_name sink (cell : Workload.Chaos.cell)
+      =
+    if not no_ansi then print_string "\027[H\027[2J";
+    Printf.printf "intersect fleet top — cell %d/%d: %s / %s\n" idx total protocol campaign_name;
+    (match Workload.Telemetry.last_snapshot sink with
+    | None -> ()
+    | Some snap ->
+        let c name = Obsv.Snapshot.counter snap name in
+        Printf.printf "fleet   sessions %-6d completed %-6d degraded %-6d failed_safe %-6d wrong %d\n"
+          (c Obsv.Health.k_sessions)
+          (c (Obsv.Health.k_outcome "completed"))
+          (c (Obsv.Health.k_outcome "degraded"))
+          (c (Obsv.Health.k_outcome "failed_safe"))
+          (c Obsv.Health.k_wrong);
+        Printf.printf "        attempts %-6d resumes %-7d post-mortems %d\n"
+          (c Obsv.Health.k_attempts) (c Obsv.Health.k_resumes)
+          (List.length (Workload.Telemetry.postmortems sink));
+        let sketch_line label name =
+          match Obsv.Snapshot.sketch snap name with
+          | None -> ()
+          | Some s ->
+              Printf.printf "%s p50 %-7d p90 %-7d p99 %-7d max %d\n" label
+                s.Obsv.Snapshot.s_p50 s.Obsv.Snapshot.s_p90 s.Obsv.Snapshot.s_p99
+                s.Obsv.Snapshot.s_max
+        in
+        sketch_line "spent bits   " Obsv.Health.k_spent_bits;
+        sketch_line "backoff ticks" Obsv.Health.k_backoff_ticks);
+    Printf.printf "cell    %d trials: %d completed, %d degraded, %d failed-safe, %d resumed\n%!"
+      cell.Workload.Chaos.trials cell.Workload.Chaos.completed cell.Workload.Chaos.degraded
+      cell.Workload.Chaos.failed_safe cell.Workload.Chaos.resumed
+  in
+  let run smoke trials seed k universe_bits overlap all_campaigns no_ansi slos telemetry_out
+      domains =
+    let config = fleet_config ~smoke ~trials ~seed ~k ~universe_bits ~overlap ~all_campaigns in
+    let plan = Workload.Chaos.cells_of config in
+    let total = List.length plan in
+    let sink = Workload.Telemetry.create_sink () in
+    let cells =
+      List.mapi
+        (fun i (protocol, campaign_name, camp) ->
+          let cell =
+            Workload.Chaos.run_cell ?domains ~sink config camp ~protocol ~campaign_name
+          in
+          render_frame ~no_ansi ~idx:(i + 1) ~total ~protocol ~campaign_name sink cell;
+          cell)
+        plan
+    in
+    let report = { Workload.Chaos.config; cells } in
+    let violations = Workload.Chaos.invariant_violations report in
+    (match telemetry_out with None -> () | Some path -> write_telemetry path sink);
+    match Workload.Telemetry.health ~slos sink with
+    | None ->
+        prerr_endline "top: campaign recorded no snapshots";
+        1
+    | Some h ->
+        print_newline ();
+        Stats.Table.print (Obsv.Health.table h);
+        health_verdict ~violations h
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live top-style view of a chaos campaign: runs the matrix cell by cell through the \
+          fleet-telemetry sink and redraws a frame per cell (sessions, outcome taxonomy, \
+          spend-sketch percentiles), finishing with the SLO health table.  Frames are \
+          event-time snapshots, so the stream is deterministic for a fixed seed.")
+    Term.(
+      const run $ fleet_smoke_arg $ fleet_trials_arg $ fleet_seed_arg $ fleet_k_arg
+      $ fleet_universe_arg $ overlap_arg $ all_campaigns_arg $ no_ansi_arg $ slos_term
+      $ telemetry_out_arg $ domains_arg)
 
 let bench_regress_cmd =
   let smoke_arg =
@@ -769,6 +1008,8 @@ let () =
             similarity_cmd;
             soak_cmd;
             chaos_cmd;
+            health_cmd;
+            top_cmd;
             bench_regress_cmd;
             conform_cmd;
             trace_cmd;

@@ -15,6 +15,11 @@
    zero wrong intersections, and every exercised resume replayed
    byte-identically (resumed_identical = resumed).
 
+   With [--bench-telemetry], additionally validates the
+   BENCH_telemetry.json schema: the "telemetry" marker, positive off/on
+   timings, deterministic fields equal between the passes, and an
+   enabled/disabled overhead ratio within the 1.25 regression bound.
+
    The cursor lives inside [validate] (not at top level) so the module
    carries no ambient mutable state — intersect-lint rule R2 holds here
    like everywhere else. *)
@@ -258,14 +263,74 @@ let check_bench_chaos input =
                  (fun acc i cell -> match acc with Error _ -> acc | Ok () -> check_cell i cell)
                  (Ok ()))
 
+let check_bench_telemetry input =
+  let module J = Stats.Json in
+  let fail msg = Error ("bench-telemetry schema: " ^ msg) in
+  match J.of_string input with
+  | Error msg -> fail ("unparseable: " ^ msg)
+  | Ok doc -> (
+      if Option.bind (J.member "bench" doc) J.to_string_opt <> Some "telemetry" then
+        fail "missing \"bench\": \"telemetry\" marker"
+      else
+        let config = J.member "config" doc in
+        let config_int name =
+          Option.bind config (fun c -> Option.bind (J.member name c) J.to_int_opt)
+        in
+        let pass_field pass name =
+          Option.bind (J.member pass doc) (fun p -> J.member name p)
+        in
+        let pass_float pass name = Option.bind (pass_field pass name) J.to_float_opt in
+        let pass_int pass name = Option.bind (pass_field pass name) J.to_int_opt in
+        let positive opt = Option.fold ~none:false ~some:(fun v -> v > 0.0) opt in
+        match (config_int "k", config_int "sessions") with
+        | None, _ | _, None -> fail "missing config k/sessions"
+        | Some k, Some sessions ->
+            if k < 1 || sessions < 1 then fail "config k/sessions must be >= 1"
+            else if
+              not
+                (positive (pass_float "off" "ns_per_session")
+                && positive (pass_float "on" "ns_per_session"))
+            then fail "off/on ns_per_session missing or non-positive"
+            else if
+              (* The bench's whole point: the measured passes are the same
+                 seeded sessions, so the deterministic fields must agree. *)
+              J.member "deterministic_match" doc <> Some (J.Bool true)
+            then fail "deterministic_match is not true"
+            else begin
+              match
+                ( pass_int "off" "spent_bits",
+                  pass_int "on" "spent_bits",
+                  pass_int "off" "completed",
+                  pass_int "on" "completed" )
+              with
+              | Some ob, Some nb, Some oc, Some nc ->
+                  if ob <> nb || oc <> nc then
+                    fail "off/on deterministic fields disagree"
+                  else if ob <= 0 then fail "spent_bits must be positive"
+                  else begin
+                    match Option.bind (J.member "ratio" doc) J.to_float_opt with
+                    | None -> fail "missing ratio"
+                    | Some r ->
+                        if r <= 0.0 then fail "non-positive ratio"
+                        else if r > 1.25 then
+                          fail
+                            (Printf.sprintf
+                               "overhead ratio %.3f exceeds the 1.25 regression bound" r)
+                        else Ok ()
+                  end
+              | _ -> fail "off/on spent_bits/completed missing"
+            end)
+
 let () =
   let schema =
     match Sys.argv with
     | [| _ |] -> None
     | [| _; "--bench-hotpath" |] -> Some check_bench_hotpath
     | [| _; "--bench-chaos" |] -> Some check_bench_chaos
+    | [| _; "--bench-telemetry" |] -> Some check_bench_telemetry
     | _ ->
-        prerr_endline "usage: json_check [--bench-hotpath | --bench-chaos] < input.json";
+        prerr_endline
+          "usage: json_check [--bench-hotpath | --bench-chaos | --bench-telemetry] < input.json";
         exit 2
   in
   let input = In_channel.input_all In_channel.stdin in

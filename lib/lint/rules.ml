@@ -8,6 +8,7 @@ let catalogue =
     ("R3", "phase registry: string literals passed to Trace.span must be in Obsv.Phases");
     ("R4", "domain hygiene: Domain.spawn/Domain.DLS only in lib/engine and lib/obsv");
     ("R5", "interface coverage: every lib/**.ml has a matching .mli");
+    ("R6", "flight recorder: Obsv.Recorder.event written only from lib/session and lib/obsv");
   ]
 
 let rule_ids = List.map fst catalogue
@@ -27,6 +28,7 @@ let exempt ~file rule =
   | "R1" -> starts_with ~prefix:"lib/prng/" file || starts_with ~prefix:"lib/engine/seed_stream." file
   | "R2" -> starts_with ~prefix:"lib/obsv/" file
   | "R4" -> starts_with ~prefix:"lib/engine/" file || starts_with ~prefix:"lib/obsv/" file
+  | "R6" -> starts_with ~prefix:"lib/session/" file || starts_with ~prefix:"lib/obsv/" file
   | _ -> false
 
 let finding ~rule ~file (loc : Location.t) message =
@@ -53,6 +55,18 @@ let r4_ident parts =
       Some "parallelism and domain-local state belong to lib/engine (Pool) and lib/obsv (ambient collectors)"
   | _ -> None
 
+(* Reading a recorder (create / events / post_mortem_json) is open to
+   everyone; *writing* events is reserved for the session layer so a
+   post-mortem is a trustworthy account of what the session machine did,
+   not a mix of narrators. *)
+let r6_ident parts =
+  match parts with
+  | [ "Recorder"; "event" ] | [ "Obsv"; "Recorder"; "event" ] ->
+      Some
+        "flight-recorder events are the session layer's narration; record domain events in \
+         lib/session (or harvest them via post_mortem_json) instead of writing directly"
+  | _ -> None
+
 let is_span_path parts =
   match parts with [ "Trace"; "span" ] | [ "Obsv"; "Trace"; "span" ] -> true | _ -> false
 
@@ -66,8 +80,11 @@ let check_expressions ~registry ~file structure =
     (match r1_ident parts with
     | Some why -> add ~rule:"R1" loc (Printf.sprintf "%s: %s" path why)
     | None -> ());
-    match r4_ident parts with
+    (match r4_ident parts with
     | Some why -> add ~rule:"R4" loc (Printf.sprintf "%s: %s" path why)
+    | None -> ());
+    match r6_ident parts with
+    | Some why -> add ~rule:"R6" loc (Printf.sprintf "%s: %s" path why)
     | None -> ()
   in
   let check_apply fn args =

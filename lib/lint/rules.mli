@@ -22,12 +22,16 @@
       [lib/engine] and [lib/obsv].
     - {b R5 interface coverage} — every [lib/**.ml] has a matching
       [.mli].
+    - {b R6 flight recorder} — [Obsv.Recorder.event] (the write side of
+      the per-session flight recorder) only in [lib/session] and
+      [lib/obsv]; everyone else reads recorders via
+      [post_mortem_json]/[events].
 
     Structural exemptions above are part of the rule; anything else
     belongs in the allowlist ({!Allow}). *)
 
 (** Rule ids with one-line descriptions, in report order ([syntax]
-    first, then R1..R5).  This is also the id set allowlists are
+    first, then R1..R6).  This is also the id set allowlists are
     validated against. *)
 val catalogue : (string * string) list
 

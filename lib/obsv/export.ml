@@ -156,12 +156,16 @@ let jsonl c =
     (opens @ closes @ msgs)
   |> List.map (fun (_, j) -> Json.to_string j)
 
-type phase = { phase : string; bits : int; messages : int; max_depth : int }
+type phase = { phase : string; bits : int; messages : int; max_depth : int; spans : int }
 
 (* Aggregate message bits by the *name* of the attributing span, in order of
    first appearance.  Because every message is counted exactly once (at its
    innermost span, or the unattributed bucket), the rows sum to
-   [Cost.total_bits] / [Cost.messages] of the collected executions. *)
+   [Cost.total_bits] / [Cost.messages] of the collected executions.
+   [spans] counts the span *instances* carrying each name, so a ledger row
+   reads "N bits across M messages over S phase executions"; rows are still
+   created by messages only (a span that attributed no message stays out of
+   the ledger, and the unattributed bucket has no spans by definition). *)
 let phases c =
   let idx = span_index c in
   let order = ref [] in
@@ -178,7 +182,7 @@ let phases c =
         match Hashtbl.find_opt acc name with
         | Some row -> row
         | None ->
-            let row = ref { phase = name; bits = 0; messages = 0; max_depth = 0 } in
+            let row = ref { phase = name; bits = 0; messages = 0; max_depth = 0; spans = 0 } in
             Hashtbl.replace acc name row;
             order := name :: !order;
             row
@@ -191,6 +195,12 @@ let phases c =
           max_depth = max !row.max_depth m.Trace.depth;
         })
     (Trace.messages c);
+  List.iter
+    (fun (s : Trace.span) ->
+      match Hashtbl.find_opt acc s.Trace.name with
+      | Some row -> row := { !row with spans = !row.spans + 1 }
+      | None -> ())
+    (Trace.spans c);
   List.rev_map (fun name -> !(Hashtbl.find acc name)) !order
 
 let total_phase_bits c = List.fold_left (fun acc p -> acc + p.bits) 0 (phases c)
@@ -213,6 +223,7 @@ let merge_phases ledgers =
                  bits = !row.bits + p.bits;
                  messages = !row.messages + p.messages;
                  max_depth = max !row.max_depth p.max_depth;
+                 spans = !row.spans + p.spans;
                }
          | None ->
              Hashtbl.replace acc p.phase (ref p);
@@ -223,8 +234,9 @@ let merge_phases ledgers =
 let phase_table_of ?(title = "per-phase communication") rows =
   let total = List.fold_left (fun acc p -> acc + p.bits) 0 rows in
   let total_messages = List.fold_left (fun acc p -> acc + p.messages) 0 rows in
+  let total_spans = List.fold_left (fun acc p -> acc + p.spans) 0 rows in
   let table =
-    Table.create ~title ~columns:[ "phase"; "bits"; "msgs"; "max depth"; "share" ]
+    Table.create ~title ~columns:[ "phase"; "bits"; "msgs"; "spans"; "max depth"; "share" ]
   in
   List.iter
     (fun p ->
@@ -233,12 +245,14 @@ let phase_table_of ?(title = "per-phase communication") rows =
           p.phase;
           Table.cell_int p.bits;
           Table.cell_int p.messages;
+          (if p.phase = unattributed then "-" else Table.cell_int p.spans);
           Table.cell_int p.max_depth;
           (if total = 0 then "-"
            else Printf.sprintf "%5.1f%%" (100.0 *. float_of_int p.bits /. float_of_int total));
         ])
     rows;
-  Table.add_row table [ "total"; Table.cell_int total; Table.cell_int total_messages; "-"; "100.0%" ];
+  Table.add_row table
+    [ "total"; Table.cell_int total; Table.cell_int total_messages; Table.cell_int total_spans; "-"; "100.0%" ];
   table
 
 let phase_table ?title c = phase_table_of ?title (phases c)
@@ -252,6 +266,7 @@ let phases_json_of rows =
              ("phase", Json.Str p.phase);
              ("bits", Json.Int p.bits);
              ("messages", Json.Int p.messages);
+             ("spans", Json.Int p.spans);
              ("max_depth", Json.Int p.max_depth);
            ])
        rows)

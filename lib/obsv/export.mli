@@ -23,11 +23,14 @@ type phase = {
   bits : int;
   messages : int;
   max_depth : int;
+  spans : int;  (** span instances carrying this name (0 for unattributed) *)
 }
 
 (** Per-phase ledger in order of first message: every message is counted
     exactly once (at its innermost span), so [bits] over all rows sums to
-    the [Cost.total_bits] of the collected executions. *)
+    the [Cost.total_bits] of the collected executions.  [spans] counts the
+    span instances behind each row; rows are still created by messages
+    only, keeping the bits-exactness property untouched. *)
 val phases : Trace.collector -> phase list
 
 (** Sum of {!phases} bits — by construction the total bits of every message

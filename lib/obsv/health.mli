@@ -1,0 +1,64 @@
+(** SLO evaluation over the fleet snapshot stream.
+
+    {!evaluate} scores one {!Snapshot.t} (typically the last of a
+    campaign) against declared service-level objectives.  The wrong-answer
+    bound is {e not} configurable: a session layer that reports a wrong
+    intersection has violated its core guarantee, so [wrong-rate-zero] is
+    hard-wired to 0.  The remaining SLOs — failed-safe rate, degraded
+    (fallback) rate, p99 deadline burn — take integer per-mille
+    thresholds.
+
+    {2 Metric-name contract}
+
+    The [k_*] values name the registry entries the fleet harness
+    ({!Workload.Telemetry}) writes and this evaluator reads; using the
+    constants on both sides keeps the contract in one place. *)
+
+val k_sessions : string
+val k_wrong : string
+val k_attempts : string
+val k_resumes : string
+
+(** [k_outcome name] for {!Session.Machine.outcome_name} values
+    (["completed"], ["degraded"], ["failed_safe"]). *)
+val k_outcome : string -> string
+
+(** [k_failure kind] for {!Session.Machine.kind_name} values. *)
+val k_failure : string -> string
+
+val k_spent_bits : string
+val k_backoff_ticks : string
+val k_wasted_bits : string
+val k_deadline_bits : string
+
+(** Integer per-mille thresholds. *)
+type slos = {
+  max_failed_safe_per_mille : int;
+  max_degraded_per_mille : int;
+  max_p99_burn_per_mille : int;
+}
+
+(** 50‰ failed-safe, 250‰ degraded, 900‰ p99 deadline burn. *)
+val default_slos : slos
+
+type verdict = {
+  slo : string;
+  ok : bool;
+  measured : int;  (** per-mille for rates, a count for [wrong-rate-zero] *)
+  limit : int;
+  detail : string;
+}
+
+type report = { ok : bool; sessions : int; verdicts : verdict list }
+
+(** [evaluate ?slos snap] scores [snap].  Always includes
+    [sessions-observed] (fails on an empty fleet), [wrong-rate-zero],
+    [failed-safe-rate] and [degraded-rate]; adds [p99-budget-burn] when
+    the snapshot carries both the [fleet/spent_bits] sketch and the
+    [fleet/deadline_bits] gauge.  Runs inside a [telemetry/health]
+    span. *)
+val evaluate : ?slos:slos -> Snapshot.t -> report
+
+val to_json : report -> Stats.Json.t
+val slos_json : slos -> Stats.Json.t
+val table : report -> Stats.Table.t

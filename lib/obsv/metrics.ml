@@ -15,6 +15,7 @@ type registry = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  sketches : (string, Sketch.t) Hashtbl.t;
 }
 
 let make ~enabled =
@@ -23,6 +24,7 @@ let make ~enabled =
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    sketches = Hashtbl.create 16;
   }
 
 let disabled = make ~enabled:false
@@ -82,6 +84,12 @@ let observe name v =
     h.buckets.(b) <- h.buckets.(b) + 1
   end
 
+let record name v =
+  let r = Domain.DLS.get ambient_registry in
+  if r.enabled then
+    let s = find r.sketches name Sketch.create in
+    Sketch.observe s v
+
 (* Order-free merge: counters and histograms add, gauges keep the maximum.
    "Latest value" is meaningless across independent parallel trials, so the
    gauge rule is chosen to be commutative; with addition everywhere else the
@@ -111,15 +119,53 @@ let merge_into ~into src =
       if h.min_v < dst.min_v then dst.min_v <- h.min_v;
       if h.max_v > dst.max_v then dst.max_v <- h.max_v;
       Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) h.buckets)
-    src.histograms
+    src.histograms;
+  Hashtbl.iter
+    (fun name s ->
+      let dst = find into.sketches name Sketch.create in
+      Sketch.merge_into ~into:dst s)
+    src.sketches
 
 let counter_value r name =
   match Hashtbl.find_opt r.counters name with Some c -> !c | None -> 0
 
 let gauge_value r name = match Hashtbl.find_opt r.gauges name with Some g -> Some !g | None -> None
 let histogram_of r name = Hashtbl.find_opt r.histograms name
+let sketch_of r name = Hashtbl.find_opt r.sketches name
 
 let sorted_keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let counters_list r = List.map (fun k -> (k, !(Hashtbl.find r.counters k))) (sorted_keys r.counters)
+let gauges_list r = List.map (fun k -> (k, !(Hashtbl.find r.gauges k))) (sorted_keys r.gauges)
+
+let histograms_list r =
+  List.map (fun k -> (k, Hashtbl.find r.histograms k)) (sorted_keys r.histograms)
+
+let sketches_list r = List.map (fun k -> (k, Hashtbl.find r.sketches k)) (sorted_keys r.sketches)
+
+(* The histogram analogue of {!Sketch.quantile}: walk the log2 buckets to
+   the target rank and report the bucket's inclusive upper bound (2^i - 1),
+   clamped to the observed extrema.  Coarse — one octave of relative error
+   — but enough for the profile view; sketches are the precise option. *)
+let histogram_quantile (h : histogram) ~per_mille =
+  if h.count = 0 then None
+  else begin
+    let pm = if per_mille < 0 then 0 else if per_mille > 1000 then 1000 else per_mille in
+    let target = max 1 (((h.count * pm) + 999) / 1000) in
+    let cum = ref 0 in
+    let answer = ref h.max_v in
+    (try
+       for i = 0 to bucket_count - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= target then begin
+           let upper = if i = 0 then 0 else (1 lsl i) - 1 in
+           answer := min upper h.max_v;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Some (max !answer h.min_v)
+  end
 
 (* Buckets are labelled by their upper bound: "<=2^i" holds [2^(i-1), 2^i). *)
 let bucket_label i = if i = 0 then "0" else Printf.sprintf "<=2^%d" i
@@ -152,9 +198,13 @@ let to_json r =
             ] ))
       (sorted_keys r.histograms)
   in
+  let sketches =
+    List.map (fun k -> (k, Sketch.to_json (Hashtbl.find r.sketches k))) (sorted_keys r.sketches)
+  in
   Stats.Json.Obj
     [
       ("counters", Stats.Json.Obj counters);
       ("gauges", Stats.Json.Obj gauges);
       ("histograms", Stats.Json.Obj histograms);
+      ("sketches", Stats.Json.Obj sketches);
     ]

@@ -32,12 +32,19 @@ val set_gauge : string -> int -> unit
     compact, deterministic shape. *)
 val observe : string -> int -> unit
 
+(** [record name v] adds [v] to the quantile {!Sketch} named [name]
+    (created on first use).  Sketches are the fine-grained (1/16 relative
+    error) complement to the octave-wide histograms: use them where a
+    tail percentile is the headline number (session spend, latency). *)
+val record : string -> int -> unit
+
 (** [merge_into ~into src] folds [src] into [into]: counters add, histograms
-    add pointwise (count, sum, buckets; min/max combine), and gauges keep the
-    {e maximum} — "latest" is meaningless across independent parallel trials,
-    and max is order-free.  The merge is associative and commutative, so a
-    trial engine may combine per-worker registries in any grouping and reach
-    the same final registry.  [src] is unchanged; [into] must be enabled. *)
+    and sketches add pointwise (count, sum, buckets; min/max combine), and
+    gauges keep the {e maximum} — "latest" is meaningless across independent
+    parallel trials, and max is order-free.  The merge is associative and
+    commutative, so a trial engine may combine per-worker registries in any
+    grouping and reach the same final registry.  [src] is unchanged; [into]
+    must be enabled. *)
 val merge_into : into:registry -> registry -> unit
 
 (** Readbacks for tests and reports (0 / [None] when never recorded). *)
@@ -54,7 +61,23 @@ type histogram = {
 }
 
 val histogram_of : registry -> string -> histogram option
+val sketch_of : registry -> string -> Sketch.t option
+
+(** Sorted (hence deterministic) enumerations, for snapshotting the whole
+    registry. *)
+val counters_list : registry -> (string * int) list
+
+val gauges_list : registry -> (string * int) list
+val histograms_list : registry -> (string * histogram) list
+val sketches_list : registry -> (string * Sketch.t) list
+
+(** [histogram_quantile h ~per_mille] is the value at rank
+    [ceil(count * per_mille / 1000)], reported as the holding log₂
+    bucket's inclusive upper bound ([2^i - 1]) clamped to the observed
+    extrema; [None] on an empty histogram.  Coarse (one octave of
+    relative error) — {!Sketch} is the precise alternative. *)
+val histogram_quantile : histogram -> per_mille:int -> int option
 
 (** Deterministic export: keys sorted, only non-empty buckets, shape
-    [{counters; gauges; histograms}]. *)
+    [{counters; gauges; histograms; sketches}]. *)
 val to_json : registry -> Stats.Json.t

@@ -20,6 +20,8 @@ let session_fallback = "session/fallback"
 let session_resume = "session/resume"
 let star_coordinate = "star/coordinate"
 let star_pair = "star/pair"
+let telemetry_health = "telemetry/health"
+let telemetry_snapshot = "telemetry/snapshot"
 let tour_pass = "tour/pass"
 let tour_root_check = "tour/root-check"
 let tour_verdict = "tour/verdict"
@@ -51,6 +53,8 @@ let all =
     session_resume;
     star_coordinate;
     star_pair;
+    telemetry_health;
+    telemetry_snapshot;
     tour_pass;
     tour_root_check;
     tour_verdict;

@@ -50,6 +50,11 @@ val session_backoff : string
 val session_fallback : string
 val session_resume : string
 
+(** {2 Telemetry (fleet observability)} *)
+
+val telemetry_health : string
+val telemetry_snapshot : string
+
 (** {2 Tree_protocol (Theorem 3.6)} *)
 
 val tree_eq : string

@@ -1,0 +1,119 @@
+(* Log-linear quantile sketch (HdrHistogram-style): each power-of-two
+   octave is split into 16 linear sub-buckets, so the bucket scheme is a
+   pure integer function of the value with <= 1/16 relative error at any
+   scale.  Everything is integer arithmetic — no floats anywhere — so a
+   merge of per-domain sketches is bucket-pointwise addition and two
+   merge orders produce byte-identical JSON. *)
+
+(* Values 0..15 get exact unit buckets; a value with most-significant bit
+   m >= 4 lands in octave m - 4, sub-bucket = next 4 bits.  63-bit native
+   ints top out at m = 62, hence 16 + 59*16 = 960 buckets. *)
+let sub_bits = 4
+let sub_count = 1 lsl sub_bits
+let bucket_count = sub_count * 60
+
+let bucket_of v =
+  if v <= 0 then 0
+  else if v < sub_count then v
+  else begin
+    let msb = ref 0 in
+    let x = ref v in
+    while !x > 1 do
+      incr msb;
+      x := !x lsr 1
+    done;
+    let sub = (v lsr (!msb - sub_bits)) - sub_count in
+    (sub_count * (!msb - (sub_bits - 1))) + sub
+  end
+
+(* Inclusive upper bound of bucket [i] — the deterministic representative
+   a quantile query reports. *)
+let bucket_upper i =
+  if i < sub_count then i
+  else
+    let msb = (i / sub_count) + (sub_bits - 1) in
+    let sub = i mod sub_count in
+    let low = (sub_count + sub) lsl (msb - sub_bits) in
+    low + (1 lsl (msb - sub_bits)) - 1
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; min_v = max_int; max_v = min_int; buckets = Array.make bucket_count 0 }
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let b = bucket_of v in
+  t.buckets.(b) <- t.buckets.(b) + 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then None else Some t.min_v
+let max_value t = if t.count = 0 then None else Some t.max_v
+
+(* Pointwise addition everywhere (min/max combine), so the merge is
+   associative and commutative: any grouping of per-domain sketches
+   reaches the same buckets, hence the same quantiles and the same
+   bytes on export. *)
+let merge_into ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
+  Array.iteri (fun i n -> if n > 0 then into.buckets.(i) <- into.buckets.(i) + n) src.buckets
+
+(* Rank ceil(count * per_mille / 1000), clamped to [1, count]; the answer
+   is the holding bucket's upper bound, clamped to the observed maximum so
+   p999 of a constant stream is that constant. *)
+let quantile t ~per_mille =
+  if t.count = 0 then 0
+  else begin
+    let pm = if per_mille < 0 then 0 else if per_mille > 1000 then 1000 else per_mille in
+    let target = max 1 (((t.count * pm) + 999) / 1000) in
+    let cum = ref 0 in
+    let answer = ref t.max_v in
+    (try
+       for i = 0 to bucket_count - 1 do
+         cum := !cum + t.buckets.(i);
+         if !cum >= target then begin
+           answer := min (bucket_upper i) t.max_v;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !answer
+  end
+
+let p50 t = quantile t ~per_mille:500
+let p90 t = quantile t ~per_mille:900
+let p99 t = quantile t ~per_mille:990
+let p999 t = quantile t ~per_mille:999
+
+let to_json t =
+  let buckets =
+    Array.to_list t.buckets
+    |> List.mapi (fun i n -> (i, n))
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (i, n) -> (Printf.sprintf "<=%d" (bucket_upper i), Stats.Json.Int n))
+  in
+  Stats.Json.Obj
+    [
+      ("count", Stats.Json.Int t.count);
+      ("sum", Stats.Json.Int t.sum);
+      ("min", if t.count = 0 then Stats.Json.Null else Stats.Json.Int t.min_v);
+      ("max", if t.count = 0 then Stats.Json.Null else Stats.Json.Int t.max_v);
+      ("p50", if t.count = 0 then Stats.Json.Null else Stats.Json.Int (p50 t));
+      ("p90", if t.count = 0 then Stats.Json.Null else Stats.Json.Int (p90 t));
+      ("p99", if t.count = 0 then Stats.Json.Null else Stats.Json.Int (p99 t));
+      ("p999", if t.count = 0 then Stats.Json.Null else Stats.Json.Int (p999 t));
+      ("buckets", Stats.Json.Obj buckets);
+    ]

@@ -212,6 +212,10 @@ let fail_safe st =
       st.attempts st.spent_bits st.backoff_ticks st.cfg.deadline_bits
       (fallback_reserve st.cfg)
   in
+  if Obsv.Recorder.active () then
+    Obsv.Recorder.event ~kind:"failed-safe"
+      ~attrs:[ ("attempts", string_of_int st.attempts) ]
+      reason;
   Done
     (mk_report st
        ~outcome:(Failed_safe { partial = st.candidate; diagnosis = diagnose st ~reason })
@@ -219,6 +223,10 @@ let fail_safe st =
 
 let run_fallback st ~s ~t =
   Obsv.Metrics.incr "session/fallbacks";
+  if Obsv.Recorder.active () then
+    Obsv.Recorder.event ~kind:"ladder"
+      ~attrs:[ ("rung", rung_name Fallback); ("attempts", string_of_int st.attempts) ]
+      "degrading to the deterministic fallback exchange";
   let trivial = Intersect.Resilient.trivial_base in
   let rng = Prng.Rng.with_label (Prng.Rng.of_int st.cfg.seed) "session/fallback" in
   let u = universe st.cfg in
@@ -248,6 +256,10 @@ let run_attempt st rung ~s ~t =
   in
   Obsv.Metrics.incr "session/attempts";
   Obsv.Metrics.set_gauge "session/check_bits" width;
+  if Obsv.Recorder.active () then
+    Obsv.Recorder.event ~kind:"attempt"
+      ~attrs:[ ("rung", rung_name rung); ("check_bits", string_of_int width) ]
+      (Printf.sprintf "attempt %d" i);
   let attempt_rng =
     Prng.Rng.with_label (Prng.Rng.of_int cfg.seed) (Printf.sprintf "session/attempt%d" i)
   in
@@ -292,6 +304,10 @@ let run_attempt st rung ~s ~t =
         | Intersect.Resilient.Party_crashed d -> (Crashed, d)
       in
       Obsv.Metrics.incr ("session/" ^ kind_name kind);
+      if Obsv.Recorder.active () then
+        Obsv.Recorder.event ~kind:"failure"
+          ~attrs:[ ("attempt", string_of_int i); ("kind", kind_name kind) ]
+          detail;
       let st =
         {
           st with
@@ -314,6 +330,10 @@ let run_attempt st rung ~s ~t =
         ~attrs:[ ("attempt", string_of_int i); ("ticks", string_of_int ticks) ]
         (fun () -> ());
       Obsv.Metrics.observe "session/backoff_ticks" ticks;
+      if Obsv.Recorder.active () then
+        Obsv.Recorder.event ~kind:"backoff"
+          ~attrs:[ ("attempt", string_of_int i) ]
+          (Printf.sprintf "%d event-time ticks" ticks);
       Running { st with backoff_ticks = st.backoff_ticks + ticks }
 
 let step st ~s ~t =
@@ -326,6 +346,11 @@ let step st ~s ~t =
          itself a recorded failure: the deadline ran out first. *)
       if rung <> Fallback then begin
         Obsv.Metrics.incr "session/deadline";
+        if Obsv.Recorder.active () then
+          Obsv.Recorder.event ~kind:"deadline"
+            ~attrs:[ ("attempts", string_of_int st.attempts) ]
+            (Printf.sprintf "budget exhausted (%d wire bits + %d ticks >= %d)" st.spent_bits
+               st.backoff_ticks st.cfg.deadline_bits);
         {
           st with
           failures_rev =
@@ -380,6 +405,10 @@ let restore cfg ck =
         Obsv.Trace.span Obsv.Phases.session_resume
           ~attrs:[ ("attempts", string_of_int ck.Checkpoint.attempts) ]
           (fun () -> ());
+        if Obsv.Recorder.active () then
+          Obsv.Recorder.event ~kind:"resume"
+            ~attrs:[ ("attempts", string_of_int ck.Checkpoint.attempts) ]
+            "restored from checkpoint";
         Ok
           {
             cfg;
@@ -399,6 +428,10 @@ let rec drive st ~s ~t ~on_checkpoint =
   match step st ~s ~t with
   | Done r -> r
   | Running st ->
+      if Obsv.Recorder.active () then
+        Obsv.Recorder.event ~kind:"checkpoint"
+          ~attrs:[ ("attempts", string_of_int st.attempts) ]
+          "checkpoint boundary";
       (match on_checkpoint with None -> () | Some f -> f (checkpoint st));
       drive st ~s ~t ~on_checkpoint
 

@@ -118,6 +118,9 @@ type obs = {
   exact_wrong : bool;
   did_resume : bool;
   identical : bool;
+  post_mortem : Stats.Json.t option;
+      (* flight-recorder dump; assembled only under telemetry, and only
+         for sessions that did not end [Completed] *)
 }
 
 (* Everything the resumed run must replay bit-for-bit.  [resumes] is
@@ -133,7 +136,7 @@ let replay_view (r : Session.Machine.report) =
     r.Session.Machine.final_width,
     r.Session.Machine.ledger )
 
-let trial (config : config) (camp : campaign) ~protocol ~stream i =
+let trial ?(flight = false) (config : config) (camp : campaign) ~protocol ~stream i =
   let rng = Engine.Seed_stream.trial_rng stream i in
   let universe = 1 lsl config.universe_bits in
   let pair =
@@ -151,7 +154,10 @@ let trial (config : config) (camp : campaign) ~protocol ~stream i =
   let s = pair.Setgen.s and t = pair.Setgen.t in
   let checkpoints = ref [] in
   let on_checkpoint ck = checkpoints := ck :: !checkpoints in
-  let report = Session.Machine.run ~on_checkpoint cfg ~s ~t in
+  let recorder = if flight then Obsv.Recorder.create () else Obsv.Recorder.disabled in
+  let report =
+    Obsv.Recorder.with_recorder recorder (fun () -> Session.Machine.run ~on_checkpoint cfg ~s ~t)
+  in
   let did_resume, identical, report =
     if not camp.interrupt then (false, false, report)
     else
@@ -183,18 +189,55 @@ let trial (config : config) (camp : campaign) ~protocol ~stream i =
     | Some result -> not (Iset.equal result truth)
     | None -> false
   in
-  { report; exact_wrong; did_resume; identical }
+  (* Post-mortems only for non-Completed endings: the happy path never
+     pays for dump assembly (the recorder itself is a fixed ring). *)
+  let post_mortem =
+    if not flight then None
+    else
+      match report.Session.Machine.outcome with
+      | Session.Machine.Completed _ -> None
+      | o ->
+          Some
+            (Obsv.Recorder.post_mortem_json ~outcome:(Session.Machine.outcome_name o) recorder)
+  in
+  { report; exact_wrong; did_resume; identical; post_mortem }
 
-let run_cell ?domains (config : config) (camp : campaign) ~protocol ~campaign_name =
+(* Per-cell cap on harvested post-mortems: the dumps are diagnostic
+   samples, not a census, and the cap keeps the telemetry stream bounded
+   under a pathological campaign. *)
+let postmortem_cap = 2
+
+let run_cell ?domains ?sink (config : config) (camp : campaign) ~protocol ~campaign_name =
   let stream =
     Engine.Seed_stream.create ~base:config.seed
       ~label:(Printf.sprintf "chaos/%s/%s" protocol campaign_name)
   in
+  let flight = sink <> None in
   let obs =
     Array.to_list
       (Engine.Pool.map ?domains ~trials:config.trials (fun i ->
-           trial config camp ~protocol ~stream (i + 1)))
+           trial ~flight config camp ~protocol ~stream (i + 1)))
   in
+  (* Telemetry aggregation is sequential and in trial order (after the
+     parallel map), so the sink's stream is byte-identical at any domain
+     count. *)
+  (match sink with
+  | None -> ()
+  | Some sink ->
+      let deadline_bits =
+        match camp.deadline_override with Some d -> d | None -> config.deadline_bits
+      in
+      let harvested = ref 0 in
+      List.iter
+        (fun o ->
+          Telemetry.record_report sink ~deadline_bits o.report ~wrong:o.exact_wrong;
+          match o.post_mortem with
+          | Some dump when !harvested < postmortem_cap ->
+              incr harvested;
+              Telemetry.add_postmortem sink dump
+          | _ -> ())
+        obs;
+      ignore (Telemetry.snapshot sink));
   let reports = List.map (fun o -> o.report) obs in
   let count f = List.length (List.filter f reports) in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
@@ -250,17 +293,22 @@ let run_cell ?domains (config : config) (camp : campaign) ~protocol ~campaign_na
          /. float_of_int recovered);
   }
 
-let run ?domains (config : config) =
+(* The campaign matrix in execution order, for callers (the CLI's [top])
+   that want to drive cells one at a time. *)
+let cells_of (config : config) =
+  List.concat_map
+    (fun protocol ->
+      List.map (fun (campaign_name, camp) -> (protocol, campaign_name, camp)) config.campaigns)
+    config.protocols
+
+let run ?domains ?sink (config : config) =
   if config.trials < 1 then invalid_arg "Chaos.run: trials";
   if config.overlap > config.k then invalid_arg "Chaos.run: overlap > k";
   let cells =
-    List.concat_map
-      (fun protocol ->
-        List.map
-          (fun (campaign_name, camp) ->
-            run_cell ?domains config camp ~protocol ~campaign_name)
-          config.campaigns)
-      config.protocols
+    List.map
+      (fun (protocol, campaign_name, camp) ->
+        run_cell ?domains ?sink config camp ~protocol ~campaign_name)
+      (cells_of config)
   in
   { config; cells }
 

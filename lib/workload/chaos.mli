@@ -82,8 +82,28 @@ type cell = {
 
 type report = { config : config; cells : cell list }
 
-(** [run ?domains config] executes the full campaign matrix. *)
-val run : ?domains:int -> config -> report
+(** The campaign matrix in execution order
+    ([(protocol, campaign_name, campaign)]), for callers that drive cells
+    one at a time (the CLI's [top] view). *)
+val cells_of : config -> (string * string * campaign) list
+
+(** [run_cell ?domains ?sink config camp ~protocol ~campaign_name] runs one
+    cell.  With a [sink], every trial carries a flight recorder, session
+    reports are folded into the fleet telemetry in deterministic trial
+    order, up to two post-mortems per cell are harvested from
+    non-[Completed] sessions, and the cell ends with one snapshot. *)
+val run_cell :
+  ?domains:int ->
+  ?sink:Telemetry.sink ->
+  config ->
+  campaign ->
+  protocol:string ->
+  campaign_name:string ->
+  cell
+
+(** [run ?domains ?sink config] executes the full campaign matrix
+    (telemetry as in {!run_cell} when [sink] is given). *)
+val run : ?domains:int -> ?sink:Telemetry.sink -> config -> report
 
 (** Violations of the chaos invariant (empty on a healthy report): outcome
     taxonomy partitions the trials, zero wrong results, every resume

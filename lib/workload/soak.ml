@@ -138,7 +138,7 @@ let baseline ?domains (config : config) base ~proto_name =
   in
   mean_bits_of (Array.to_list reports)
 
-let run_cell ?domains (config : config) base ~proto_name ~plan_name ~link ~baseline_bits =
+let run_cell ?domains ?sink (config : config) base ~proto_name ~plan_name ~link ~baseline_bits =
   let stream = cell_stream config ~proto_name ~plan_name in
   let outcomes =
     Array.to_list
@@ -147,6 +147,15 @@ let run_cell ?domains (config : config) base ~proto_name ~plan_name ~link ~basel
   in
   let reports = List.map fst outcomes in
   let exact = List.length (List.filter snd outcomes) in
+  (* Telemetry aggregation happens sequentially after the parallel map,
+     in trial order, so the stream is byte-identical across domain
+     counts. *)
+  (match sink with
+  | None -> ()
+  | Some sink ->
+      Telemetry.record_soak_cell sink ~trials:config.trials ~exact
+        ~degraded:(List.length (List.filter (fun r -> r.Resilient.degraded) reports))
+        ~bits:(List.map (fun r -> r.Resilient.cost.Commsim.Cost.total_bits) reports));
   let count f = List.length (List.filter f reports) in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
   let failure_sums =
@@ -204,7 +213,7 @@ let run_cell ?domains (config : config) base ~proto_name ~plan_name ~link ~basel
         reports;
   }
 
-let run ?domains (config : config) =
+let run ?domains ?sink (config : config) =
   if config.trials < 1 then invalid_arg "Soak.run: trials";
   if config.overlap > config.k then invalid_arg "Soak.run: overlap > k";
   let cells =
@@ -214,7 +223,7 @@ let run ?domains (config : config) =
         let baseline_bits = baseline ?domains config base ~proto_name in
         List.map
           (fun (plan_name, link) ->
-            run_cell ?domains config base ~proto_name ~plan_name ~link ~baseline_bits)
+            run_cell ?domains ?sink config base ~proto_name ~plan_name ~link ~baseline_bits)
           config.plans)
       config.protocols
   in

@@ -75,8 +75,12 @@ type report = { config : config; cells : cell list }
     Per-trial randomness is an {!Engine.Seed_stream} of the config seed and
     the cell coordinates, so the report — and its JSON — is byte-identical
     for {e every} domain count, including the sequential [~domains:1]
-    which reproduces the historical single-core harness exactly. *)
-val run : ?domains:int -> config -> report
+    which reproduces the historical single-core harness exactly.
+
+    With a [sink], each cell's exact/degraded tallies and per-trial bit
+    costs are folded into the fleet telemetry (sequentially, in trial
+    order) and the cell closes with one snapshot. *)
+val run : ?domains:int -> ?sink:Telemetry.sink -> config -> report
 
 (** [to_json ?reproduce report] renders the full report; [reproduce] is the
     exact command line that regenerates it. *)

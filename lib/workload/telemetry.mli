@@ -1,0 +1,91 @@
+(** Fleet-telemetry plumbing for the workload harnesses.
+
+    A {!sink} accumulates what a running campaign (chaos, soak, the CLI's
+    [health]/[top]) learns about its session fleet: per-outcome counters
+    and bit-spend {!Obsv.Sketch}es in a dedicated registry (under the
+    {!Obsv.Health} metric-name contract), an event-time
+    {!Obsv.Snapshot} stream, and the post-mortems harvested from
+    per-session flight recorders.  Sinks are filled sequentially in
+    deterministic trial order, so {!jsonl} is byte-identical run-to-run
+    and across domain counts.
+
+    The overhead bench ([run_overhead]) measures the hot-path cost of
+    the telemetry layer itself — sketch + recorder + fleet counters on
+    vs off over identical seeded sessions — and is the source of the
+    regression-gated [BENCH_telemetry.json]. *)
+
+type sink
+
+val create_sink : unit -> sink
+
+(** Sessions recorded so far — the stream's event-time axis. *)
+val sessions : sink -> int
+
+(** [record_report sink ~deadline_bits r ~wrong] folds one session report
+    into the fleet registry: outcome/failure counters, spend sketches,
+    and the deadline gauge (kept at the maximum across sessions).
+    Advances event time by one. *)
+val record_report : sink -> deadline_bits:int -> Session.Machine.report -> wrong:bool -> unit
+
+(** Attach a flight-recorder dump at the current event time. *)
+val add_postmortem : sink -> Stats.Json.t -> unit
+
+(** Snapshot the fleet registry at the current event time and append it
+    to the stream. *)
+val snapshot : sink -> Obsv.Snapshot.t
+
+val snapshots : sink -> Obsv.Snapshot.t list
+val last_snapshot : sink -> Obsv.Snapshot.t option
+val postmortems : sink -> (int * Stats.Json.t) list
+
+(** The JSONL telemetry stream: snapshot lines, each followed by a
+    derived-rates line, merged with post-mortem lines on the event-time
+    axis. *)
+val jsonl : sink -> string list
+
+(** Cell-level recording for the {!Soak} harness (trials, not sessions):
+    bumps [soak/*] counters, sketches the per-trial bit costs in trial
+    order, advances event time by [trials] and closes the cell with a
+    snapshot. *)
+val record_soak_cell : sink -> trials:int -> exact:int -> degraded:int -> bits:int list -> unit
+
+(** {!Obsv.Health.evaluate} over the latest snapshot ([None] before the
+    first snapshot). *)
+val health : ?slos:Obsv.Health.slos -> sink -> Obsv.Health.report option
+
+(** {2 Overhead bench} *)
+
+type overhead_config = { seed : int; k : int; universe_bits : int; sessions : int }
+
+(** k=1024, 24 sessions — the configuration [BENCH_telemetry.json] gates. *)
+val overhead_default : overhead_config
+
+(** k=256, 8 sessions — seconds-scale for tier1. *)
+val overhead_smoke : overhead_config
+
+type pass = {
+  ns_per_session : float;
+  spent_bits : int;  (** summed over sessions — deterministic *)
+  completed : int;  (** sessions that completed — deterministic *)
+}
+
+type overhead_report = {
+  config : overhead_config;
+  off : pass;  (** telemetry disabled (ambient defaults) *)
+  on_ : pass;  (** fleet registry + per-session recorder + sketches *)
+  ratio : float;  (** [on_.ns_per_session / off.ns_per_session] *)
+  deterministic_match : bool;
+      (** telemetry must not perturb the sessions: spend and outcomes
+          agree between the passes *)
+}
+
+(** Run both passes over identical seeded clean-link sessions (both
+    verify results against the precomputed truth, so telemetry is the
+    only asymmetry). *)
+val run_overhead : overhead_config -> overhead_report
+
+(** Marker field ["bench": "telemetry"] (checked by
+    [json_check --bench-telemetry]). *)
+val overhead_json : ?reproduce:string -> overhead_report -> Stats.Json.t
+
+val overhead_summary : overhead_report -> string

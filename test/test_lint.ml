@@ -118,6 +118,26 @@ let test_r4_join_alone_passes () =
   let src = "let n () = Domain.recommended_domain_count ()\n" in
   check "other Domain reads pass" 0 (List.length (lint ~path:"lib/core/fixture.ml" src))
 
+(* --- R6: flight recorder write restriction --------------------------- *)
+
+let test_r6_flags_event_outside_session () =
+  let src = {|let f () = Obsv.Recorder.event ~kind:"oops" "narrating from the wrong layer"|} in
+  check "recorder write caught" 1 (count_rule "R6" (lint ~path:"lib/workload/fixture.ml" src));
+  check "short path caught too" 1
+    (count_rule "R6" (lint ~path:"bin/fixture.ml" {|let f () = Recorder.event ~kind:"k" "d"|}))
+
+let test_r6_exempt_in_session_and_obsv () =
+  let src = {|let f () = Obsv.Recorder.event ~kind:"ladder" "degrading"|} in
+  check "lib/session narrates" 0 (List.length (lint ~path:"lib/session/machine.ml" src));
+  check "lib/obsv owns the recorder" 0 (List.length (lint ~path:"lib/obsv/recorder.ml" src))
+
+let test_r6_reads_pass () =
+  let src =
+    "let dump r = Obsv.Recorder.post_mortem_json r\nlet n r = Obsv.Recorder.recorded r\n"
+  in
+  check "reading a recorder is open to all" 0
+    (List.length (lint ~path:"lib/workload/fixture.ml" src))
+
 (* --- R5: interface coverage ------------------------------------------ *)
 
 let test_r5_missing_mli () =
@@ -231,6 +251,13 @@ let () =
         ] );
       ( "R5 interfaces",
         [ Alcotest.test_case "missing .mli" `Quick test_r5_missing_mli ] );
+      ( "R6 flight recorder",
+        [
+          Alcotest.test_case "flags writes outside session" `Quick
+            test_r6_flags_event_outside_session;
+          Alcotest.test_case "exempt in session/obsv" `Quick test_r6_exempt_in_session_and_obsv;
+          Alcotest.test_case "reads pass" `Quick test_r6_reads_pass;
+        ] );
       ( "syntax",
         [ Alcotest.test_case "parse errors are findings" `Quick test_syntax_error_is_a_finding ] );
       ( "allowlist",

@@ -3,10 +3,11 @@
 # soak smoke of the resilient wrapper against adversarial channels (exits
 # non-zero if any cell violates the paper's error bound), a chaos
 # campaign smoke of the session robustness layer (never a wrong
-# intersection, resumes replay identically), and an observability smoke:
+# intersection, resumes replay identically), an observability smoke:
 # the trace subcommand must emit valid JSON and the profile subcommand
 # must account for every metered bit (it exits non-zero on a phase-sum
-# mismatch).
+# mismatch), and a fleet-telemetry smoke (overhead bound, byte-identical
+# streams across domain counts, green health verdict).
 set -eu
 cd "$(dirname "$0")"
 
@@ -14,8 +15,9 @@ dune build
 dune runtest
 
 # Static invariant gate: the whole tree must lint clean (determinism,
-# ambient state, phase registry, domain hygiene, interface coverage —
-# rules R1..R5, see DESIGN.md "Static analysis"), the JSON report must be
+# ambient state, phase registry, domain hygiene, interface coverage,
+# flight-recorder writes — rules R1..R6, see DESIGN.md "Static
+# analysis"), the JSON report must be
 # loadable, and the linter must be deterministic: two consecutive --json
 # runs over the same tree are byte-identical.
 dune build @lint
@@ -67,6 +69,25 @@ trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$chaos_a" "$chaos_b" "$de
 dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_a"
 dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_b"
 cmp "$det_a" "$det_b"
+
+# Fleet telemetry smoke: the committed BENCH_telemetry.json must be
+# schema-valid (including the 1.25x enabled/disabled overhead bound), a
+# live seconds-scale overhead run must keep its deterministic fields
+# identical between the passes (generous 3x timing headroom for shared CI
+# machines), the chaos telemetry stream must be byte-identical run-to-run
+# and across domain counts, and the health/top views must come back green
+# on the default (deadline-squeeze-free) campaign set.
+./_build/default/bin/json_check.exe --bench-telemetry < BENCH_telemetry.json
+dune exec bench/telemetry.exe -- --smoke --max-ratio 3.0 > /dev/null
+tel_a=$(mktemp) && tel_b=$(mktemp) && tel_d2=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$chaos_a" "$chaos_b" "$det_a" "$det_b" "$tel_a" "$tel_b" "$tel_d2"' EXIT
+dune exec bench/chaos.exe -- --smoke --trials 4 --telemetry "$tel_a" > /dev/null
+dune exec bench/chaos.exe -- --smoke --trials 4 --telemetry "$tel_b" > /dev/null
+dune exec bench/chaos.exe -- --smoke --trials 4 --telemetry "$tel_d2" --domains 2 > /dev/null
+cmp "$tel_a" "$tel_b"
+cmp "$tel_a" "$tel_d2"
+dune exec bin/intersect_cli.exe -- health --smoke --trials 4 > /dev/null
+dune exec bin/intersect_cli.exe -- top --smoke --trials 4 --no-ansi > /dev/null
 
 # Documentation gate, where odoc is installed (the CI image may not ship
 # it): the API docs must build without warnings-as-errors regressions.
