@@ -11,13 +11,17 @@
      --trace-overhead  only the tracing-tax measurement (writes
                        BENCH_trace_overhead.json)
      --engine-scaling  only the trial-engine throughput measurement
-                       (writes BENCH_engine_scaling.json) *)
+                       (writes BENCH_engine_scaling.json)
+     --alloc-gate      only the allocations-per-trial regression gate
+                       (exit 1 if the bucket k=1024 hot path allocates
+                       more per trial than the committed seed baseline) *)
 
-let run quick only no_micro micro_only trace_overhead engine_scaling =
+let run quick only no_micro micro_only trace_overhead engine_scaling alloc_gate =
   if trace_overhead then begin
     Micro.trace_overhead ();
     exit 0
   end;
+  if alloc_gate then exit (Scaling.alloc_gate ());
   if engine_scaling then begin
     Scaling.run ();
     exit 0
@@ -67,10 +71,20 @@ let engine_scaling =
           "Measure trial-engine throughput at 1/2/4 worker domains and write \
            BENCH_engine_scaling.json.")
 
+let alloc_gate =
+  Arg.(
+    value & flag
+    & info [ "alloc-gate" ]
+        ~doc:
+          "Run only the allocations-per-trial regression gate: exit 1 if the bucket k=1024 hot \
+           path allocates more bytes per trial than the committed seed baseline.")
+
 let cmd =
   let doc = "Regenerate the experiment tables of the PODC'14 set-intersection reproduction." in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const run $ quick $ only $ no_micro $ micro_only $ trace_overhead $ engine_scaling)
+    Term.(
+      const run $ quick $ only $ no_micro $ micro_only $ trace_overhead $ engine_scaling
+      $ alloc_gate)
 
 let () = exit (Cmd.eval cmd)

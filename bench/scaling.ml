@@ -1,10 +1,23 @@
-(* Engine scaling: throughput of the Domain-parallel trial runner.
+(* Engine scaling: throughput and allocation behaviour of the
+   Domain-parallel trial runner.
 
-   Runs the same seeded bucket-protocol trial grid at 1, 2 and 4 worker
-   domains, reports trials/sec and speedup over the single-domain run,
-   and writes BENCH_engine_scaling.json.  Also asserts along the way
-   that the merged results are identical at every domain count — the
-   engine's determinism contract, measured rather than assumed.
+   Two sections, both written to BENCH_engine_scaling.json:
+
+   - [cases]: the same seeded bucket-protocol trial grid at 1, 2 and 4
+     worker domains — trials/sec, speedup over the single-domain run,
+     plus the calling domain's allocated bytes/trial and the major
+     collections observed during the timed grid, so a scheduling
+     regression (the 0.44x two-domain figure on a single-core host) is
+     attributable to GC pressure vs pure domain-switch overhead.
+     Asserts along the way that the merged results are identical at
+     every domain count — the engine's determinism contract, measured
+     rather than assumed.
+
+   - [alloc]: the allocations-per-trial probe on the hot path this PR
+     pools (bucket, k = 1024, sequential): bytes/trial and major
+     collections/trial against the committed seed baseline, with the
+     reduction ratio the acceptance gate reads.  [alloc_gate] exits
+     non-zero if bytes/trial regresses past the seed baseline.
 
    The JSON records [cores] (Domain.recommended_domain_count) because
    speedup is bounded by the cores actually available: on a single-core
@@ -18,55 +31,149 @@ let k = 64
 let universe_bits = 20
 let trials = 600
 
+let trial_of ~protocol ~stream ~universe ~k i =
+  let rng = Engine.Seed_stream.trial_rng stream (i + 1) in
+  let pair =
+    Workload.Setgen.pair_with_overlap
+      (Prng.Rng.with_label rng "pair")
+      ~universe ~size_s:k ~size_t:k ~overlap:(k / 2)
+  in
+  let outcome =
+    protocol.Protocol.run
+      (Prng.Rng.with_label rng "protocol")
+      ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
+  in
+  (outcome.Protocol.cost.Commsim.Cost.total_bits, Iset.cardinal outcome.Protocol.alice)
+
 let trial_grid ~domains =
   let universe = 1 lsl universe_bits in
   let protocol = Bucket_protocol.protocol ~k () in
   let stream = Engine.Seed_stream.create ~base:seed ~label:"bench/scaling" in
-  Engine.Pool.map ~domains ~trials (fun i ->
-      let rng = Engine.Seed_stream.trial_rng stream (i + 1) in
-      let pair =
-        Workload.Setgen.pair_with_overlap
-          (Prng.Rng.with_label rng "pair")
-          ~universe ~size_s:k ~size_t:k ~overlap:(k / 2)
-      in
-      let outcome =
-        protocol.Protocol.run
-          (Prng.Rng.with_label rng "protocol")
-          ~universe pair.Workload.Setgen.s pair.Workload.Setgen.t
-      in
-      (outcome.Protocol.cost.Commsim.Cost.total_bits, Iset.cardinal outcome.Protocol.alice))
+  Engine.Pool.map ~domains ~trials (fun i -> trial_of ~protocol ~stream ~universe ~k i)
+
+type case_measure = {
+  results : (int * int) array;
+  rate : float;
+  bytes_per_trial : float;  (* calling domain's share only when domains > 1 *)
+  majors : int;
+}
 
 let time_grid ~domains =
   ignore (trial_grid ~domains);
   (* warm-up *)
+  let s0 = Gc.quick_stat () in
+  let b0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
   let results = trial_grid ~domains in
   let t1 = Unix.gettimeofday () in
-  (results, float_of_int trials /. (t1 -. t0))
+  let b1 = Gc.allocated_bytes () in
+  let s1 = Gc.quick_stat () in
+  {
+    results;
+    rate = float_of_int trials /. (t1 -. t0);
+    bytes_per_trial = (b1 -. b0) /. float_of_int trials;
+    majors = s1.Gc.major_collections - s0.Gc.major_collections;
+  }
+
+(* ---------- allocations-per-trial probe (bucket k = 1024) ---------- *)
+
+(* Bytes/trial of the full bucket trial at the PR-5 seed commit, measured
+   with this probe (20 trials, warm pools) before the allocation-lean
+   rewrite landed.  The tier1 alloc gate fails any build that regresses
+   past it; [reduction] reports how far below it the build sits. *)
+let alloc_seed_baseline_bytes = 9_181_129.0
+
+let alloc_k = 1024
+let alloc_trials = 20
+
+type alloc_measure = {
+  alloc_bytes_per_trial : float;
+  alloc_majors_per_trial : float;
+  reduction : float;  (* seed baseline / measured *)
+}
+
+let alloc_probe () =
+  let universe = 1 lsl universe_bits in
+  let protocol = Bucket_protocol.protocol ~k:alloc_k () in
+  let stream = Engine.Seed_stream.create ~base:seed ~label:"bench/scaling/alloc" in
+  let run_trial i =
+    ignore (Sys.opaque_identity (trial_of ~protocol ~stream ~universe ~k:alloc_k i))
+  in
+  (* Warm-up: codec caches and bitio arenas populate on first use. *)
+  for i = 0 to 2 do
+    run_trial i
+  done;
+  let s0 = Gc.quick_stat () in
+  let b0 = Gc.allocated_bytes () in
+  for i = 0 to alloc_trials - 1 do
+    run_trial i
+  done;
+  let b1 = Gc.allocated_bytes () in
+  let s1 = Gc.quick_stat () in
+  let bytes = (b1 -. b0) /. float_of_int alloc_trials in
+  {
+    alloc_bytes_per_trial = bytes;
+    alloc_majors_per_trial =
+      float_of_int (s1.Gc.major_collections - s0.Gc.major_collections)
+      /. float_of_int alloc_trials;
+    reduction = (if bytes > 0.0 then alloc_seed_baseline_bytes /. bytes else Float.infinity);
+  }
+
+let alloc_json (a : alloc_measure) =
+  Stats.Json.Obj
+    [
+      ("protocol", Stats.Json.Str "bucket");
+      ("k", Stats.Json.Int alloc_k);
+      ("trials", Stats.Json.Int alloc_trials);
+      ("bytes_per_trial", Stats.Json.Float a.alloc_bytes_per_trial);
+      ("major_collections_per_trial", Stats.Json.Float a.alloc_majors_per_trial);
+      ("seed_baseline_bytes_per_trial", Stats.Json.Float alloc_seed_baseline_bytes);
+      ("reduction", Stats.Json.Float a.reduction);
+    ]
+
+(* Tier1's allocation-regression gate: fail any build whose bucket
+   k=1024 hot path allocates more per trial than the seed baseline. *)
+let alloc_gate () =
+  let a = alloc_probe () in
+  Printf.printf "alloc gate: bucket k=%d  %.0f bytes/trial (seed baseline %.0f, %.2fx reduction)\n"
+    alloc_k a.alloc_bytes_per_trial alloc_seed_baseline_bytes a.reduction;
+  if a.alloc_bytes_per_trial <= alloc_seed_baseline_bytes then 0
+  else begin
+    Printf.eprintf "alloc gate: REGRESSION — %.0f bytes/trial exceeds the seed baseline %.0f\n"
+      a.alloc_bytes_per_trial alloc_seed_baseline_bytes;
+    1
+  end
 
 let run ?(out = "BENCH_engine_scaling.json") () =
   let cores = Domain.recommended_domain_count () in
   let counts = [ 1; 2; 4 ] in
   let measured = List.map (fun d -> (d, time_grid ~domains:d)) counts in
-  let baseline_results, baseline_rate =
-    match measured with (_, m) :: _ -> m | [] -> assert false
-  in
+  let baseline = match measured with (_, m) :: _ -> m | [] -> assert false in
   List.iter
-    (fun (d, (results, _)) ->
-      if results <> baseline_results then
+    (fun (d, m) ->
+      if m.results <> baseline.results then
         failwith (Printf.sprintf "engine scaling: results differ at %d domains" d))
     measured;
   let table =
     Stats.Table.create ~title:"Engine scaling (bucket, k=64, 600 trials)"
-      ~columns:[ "domains"; "trials/sec"; "speedup" ]
+      ~columns:[ "domains"; "trials/sec"; "speedup"; "bytes/trial"; "majors" ]
   in
   List.iter
-    (fun (d, (_, rate)) ->
+    (fun (d, m) ->
       Stats.Table.add_row table
-        [ string_of_int d; Printf.sprintf "%.0f" rate; Printf.sprintf "%.2fx" (rate /. baseline_rate) ])
+        [
+          string_of_int d;
+          Printf.sprintf "%.0f" m.rate;
+          Printf.sprintf "%.2fx" (m.rate /. baseline.rate);
+          Printf.sprintf "%.0f" m.bytes_per_trial;
+          string_of_int m.majors;
+        ])
     measured;
   Stats.Table.print table;
   Printf.printf "cores available: %d; merged results identical at every domain count\n" cores;
+  let alloc = alloc_probe () in
+  Printf.printf "alloc probe: bucket k=%d  %.0f bytes/trial (seed baseline %.0f, %.2fx reduction)\n"
+    alloc_k alloc.alloc_bytes_per_trial alloc_seed_baseline_bytes alloc.reduction;
   let json =
     Stats.Json.Obj
       [
@@ -81,14 +188,17 @@ let run ?(out = "BENCH_engine_scaling.json") () =
         ( "cases",
           Stats.Json.List
             (List.map
-               (fun (d, (_, rate)) ->
+               (fun (d, m) ->
                  Stats.Json.Obj
                    [
                      ("domains", Stats.Json.Int d);
-                     ("trials_per_sec", Stats.Json.Float rate);
-                     ("speedup", Stats.Json.Float (rate /. baseline_rate));
+                     ("trials_per_sec", Stats.Json.Float m.rate);
+                     ("speedup", Stats.Json.Float (m.rate /. baseline.rate));
+                     ("bytes_per_trial", Stats.Json.Float m.bytes_per_trial);
+                     ("major_collections", Stats.Json.Int m.majors);
                    ])
                measured) );
+        ("alloc", alloc_json alloc);
       ]
   in
   Out_channel.with_open_text out (fun oc ->

@@ -1,0 +1,92 @@
+(* Mega-sweep harness entry point.
+
+   Runs the protocol x k x fault-plan matrix at 10^6+ trials per
+   invocation, prints the per-cell table, and emits the consolidated
+   JSON report.
+
+     dune exec bench/sweep.exe                     # default matrix (1.04M trials)
+     dune exec bench/sweep.exe -- --smoke          # seconds-scale CI matrix
+     dune exec bench/sweep.exe -- --trials 10000 --out BENCH_sweep.json
+
+   The report is reproducible: the same flags produce the identical
+   JSON, bit for bit, at every --domains value (the reproduce field
+   quotes the command). *)
+
+open Cmdliner
+
+let run smoke seed trials universe_bits attempts check_bits out json_only domains telemetry_out =
+  let base = if smoke then Workload.Sweep.smoke else Workload.Sweep.default in
+  let override v = function Some v' -> v' | None -> v in
+  let config =
+    {
+      base with
+      Workload.Sweep.seed = override base.Workload.Sweep.seed seed;
+      trials_per_cell = override base.Workload.Sweep.trials_per_cell trials;
+      universe_bits = override base.Workload.Sweep.universe_bits universe_bits;
+      budget_attempts = override base.Workload.Sweep.budget_attempts attempts;
+      check_bits = override base.Workload.Sweep.check_bits check_bits;
+    }
+  in
+  let reproduce =
+    Printf.sprintf "dune exec bench/sweep.exe --%s --seed %d --trials %d"
+      (if smoke then " --smoke" else "")
+      config.Workload.Sweep.seed config.Workload.Sweep.trials_per_cell
+  in
+  let sink =
+    match telemetry_out with None -> None | Some _ -> Some (Workload.Telemetry.create_sink ())
+  in
+  let report = Workload.Sweep.run ?domains ?sink config in
+  (match (telemetry_out, sink) with
+  | Some path, Some sink ->
+      let oc = open_out path in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (Workload.Telemetry.jsonl sink);
+      close_out oc;
+      if not json_only then Printf.printf "telemetry stream written to %s\n" path
+  | _ -> ());
+  if not json_only then print_string (Workload.Sweep.summary report);
+  let json = Stats.Json.to_string_pretty (Workload.Sweep.to_json ~reproduce report) in
+  (match out with
+  | None -> if json_only then print_endline json
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      if not json_only then Printf.printf "JSON report written to %s\n" path);
+  if report.Workload.Sweep.pass then 0 else 1
+
+let some_int names docv doc = Arg.(value & opt (some int) None & info names ~docv ~doc)
+
+let cmd =
+  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale CI matrix.") in
+  let seed = some_int [ "seed" ] "SEED" "Root seed (default 2014)." in
+  let trials = some_int [ "trials" ] "N" "Trials per matrix cell." in
+  let universe_bits = some_int [ "universe-bits" ] "B" "Universe size 2^B." in
+  let attempts = some_int [ "attempts" ] "A" "Resilient retry budget (faulted cells)." in
+  let check_bits = some_int [ "check-bits" ] "C" "Initial fingerprint width (faulted cells)." in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.")
+  in
+  let json_only = Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON report.") in
+  let domains =
+    some_int [ "domains" ]
+      "D" "Engine worker domains (default: one per core; the report is identical for any value)."
+  in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Write the fleet-telemetry JSONL stream (per-cell snapshots) here.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run the mega-sweep conformance matrix at 10^6+ trial scale.")
+    Term.(
+      const run $ smoke $ seed $ trials $ universe_bits $ attempts $ check_bits $ out $ json_only
+      $ domains $ telemetry_out)
+
+let () = exit (Cmd.eval' cmd)

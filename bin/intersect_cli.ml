@@ -996,6 +996,89 @@ let conform_cmd =
       $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
       $ ks_arg $ protocols_arg $ domains_arg)
 
+let sweep_cmd =
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Seconds-scale matrix (3 cells, 1200 trials).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report instead of the table.")
+  in
+  let trials_arg =
+    Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc:"Trials per matrix cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report (the BENCH_sweep.json shape).")
+  in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Write the fleet-telemetry JSONL stream (per-cell snapshots) here.")
+  in
+  let run smoke json trials seed out telemetry_out domains =
+    let base = if smoke then Workload.Sweep.smoke else Workload.Sweep.default in
+    let config =
+      {
+        base with
+        Workload.Sweep.seed;
+        trials_per_cell = Option.value trials ~default:base.Workload.Sweep.trials_per_cell;
+      }
+    in
+    let reproduce =
+      Printf.sprintf "intersect_cli sweep%s --seed %d --trials %d"
+        (if smoke then " --smoke" else "")
+        config.Workload.Sweep.seed config.Workload.Sweep.trials_per_cell
+    in
+    let sink =
+      match telemetry_out with None -> None | Some _ -> Some (Workload.Telemetry.create_sink ())
+    in
+    match Workload.Sweep.run ?domains ?sink config with
+    | exception Invalid_argument m ->
+        prerr_endline ("sweep: " ^ m);
+        2
+    | report ->
+        (match (telemetry_out, sink) with
+        | Some path, Some sink -> write_telemetry path sink
+        | _ -> ());
+        if json then
+          print_endline (Stats.Json.to_string_pretty (Workload.Sweep.to_json ~reproduce report))
+        else print_string (Workload.Sweep.summary report);
+        (match out with
+        | None -> ()
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc
+                  (Stats.Json.to_string_pretty (Workload.Sweep.to_json ~reproduce report));
+                Out_channel.output_char oc '\n');
+            Printf.eprintf "wrote %s\n" path);
+        List.iter
+          (fun (c : Workload.Sweep.cell) ->
+            if not c.Workload.Sweep.pass then
+              Printf.eprintf "sweep: %s/%s k=%d violated its envelope (%d/%d failures)\n"
+                c.Workload.Sweep.protocol
+                (Option.value c.Workload.Sweep.plan ~default:"clean")
+                c.Workload.Sweep.k c.Workload.Sweep.failures c.Workload.Sweep.trials)
+          report.Workload.Sweep.cells;
+        if report.Workload.Sweep.pass then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Mega-sweep conformance matrix: stream 10^6+ seeded trials over protocol x k x \
+          fault-plan cells through the trial engine, gating each cell's failure count against \
+          the paper's 1/poly(k) envelope (Wilson 95% bounds) or the resilient wrapper's \
+          rare-event bound.  Byte-identical report at every --domains value.  Exits non-zero \
+          on any envelope violation (bench/sweep.exe is the full harness; this is the in-CLI \
+          runner).")
+    Term.(
+      const run $ smoke_arg $ json_arg $ trials_arg
+      $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+      $ out_arg $ telemetry_arg $ domains_arg)
+
 let () =
   let doc = "Set-intersection communication protocols (PODC'14 reproduction)." in
   exit
@@ -1012,6 +1095,7 @@ let () =
             top_cmd;
             bench_regress_cmd;
             conform_cmd;
+            sweep_cmd;
             trace_cmd;
             profile_cmd;
           ]))

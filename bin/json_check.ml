@@ -15,6 +15,13 @@
    zero wrong intersections, and every exercised resume replayed
    byte-identically (resumed_identical = resumed).
 
+   With [--bench-sweep], additionally validates the BENCH_sweep.json
+   schema: the "sweep" marker, a config with seed and a positive
+   trials_per_cell, a non-empty cell list whose per-cell trial counts
+   sum to total_trials, ordered Wilson bounds in [0,1] in every cell, a
+   plan on every faulted cell, and pass = error_ok && rounds_ok &&
+   bits_ok cell-by-cell.
+
    With [--bench-telemetry], additionally validates the
    BENCH_telemetry.json schema: the "telemetry" marker, positive off/on
    timings, deterministic fields equal between the passes, and an
@@ -321,6 +328,105 @@ let check_bench_telemetry input =
               | _ -> fail "off/on spent_bits/completed missing"
             end)
 
+let check_bench_sweep input =
+  let module J = Stats.Json in
+  let fail msg = Error ("bench-sweep schema: " ^ msg) in
+  match J.of_string input with
+  | Error msg -> fail ("unparseable: " ^ msg)
+  | Ok doc -> (
+      if Option.bind (J.member "bench" doc) J.to_string_opt <> Some "sweep" then
+        fail "missing \"bench\": \"sweep\" marker"
+      else
+        let config = J.member "config" doc in
+        let config_int name =
+          Option.bind config (fun c -> Option.bind (J.member name c) J.to_int_opt)
+        in
+        match (config_int "seed", config_int "trials_per_cell") with
+        | None, _ | _, None -> fail "missing config seed/trials_per_cell"
+        | Some _, Some per_cell -> (
+            if per_cell < 1 then fail "trials_per_cell must be >= 1"
+            else
+              let to_bool_opt = function Some (J.Bool b) -> Some b | _ -> None in
+              match
+                ( Option.bind (J.member "cells" doc) J.to_list_opt,
+                  Option.bind (J.member "total_trials" doc) J.to_int_opt,
+                  to_bool_opt (J.member "pass" doc) )
+              with
+              | None, _, _ -> fail "missing \"cells\" list"
+              | Some [], _, _ -> fail "empty \"cells\" list"
+              | _, None, _ -> fail "missing \"total_trials\""
+              | _, _, None -> fail "missing \"pass\""
+              | Some cells, Some total, Some _ ->
+                  let check_cell i cell =
+                    let where msg = Printf.sprintf "cell %d: %s" i msg in
+                    let str_field name = Option.bind (J.member name cell) J.to_string_opt in
+                    let int_field name = Option.bind (J.member name cell) J.to_int_opt in
+                    let float_field name = Option.bind (J.member name cell) J.to_float_opt in
+                    let bool_field name = to_bool_opt (J.member name cell) in
+                    match (str_field "kind", str_field "protocol") with
+                    | None, _ -> Error (where "missing \"kind\"")
+                    | Some kind, _ when kind <> "clean" && kind <> "faulted" ->
+                        Error (where "kind must be \"clean\" or \"faulted\"")
+                    | _, None -> Error (where "missing \"protocol\"")
+                    | Some kind, Some _ -> (
+                        match
+                          List.find_opt
+                            (fun name ->
+                              match int_field name with None -> true | Some v -> v < 0)
+                            [ "k"; "trials"; "failures"; "degraded" ]
+                        with
+                        | Some name -> Error (where (Printf.sprintf "missing or negative %S" name))
+                        | None -> (
+                            let get name = Option.get (int_field name) in
+                            if get "trials" < 1 then Error (where "fewer than 1 trial")
+                            else if get "failures" > get "trials" then
+                              Error (where "more failures than trials")
+                            else if kind = "faulted" && J.member "plan" cell = None then
+                              Error (where "faulted cell missing \"plan\"")
+                            else
+                              match
+                                ( float_field "error_limit",
+                                  float_field "error_lower95",
+                                  float_field "error_upper95" )
+                              with
+                              | None, _, _ | _, None, _ | _, _, None ->
+                                  Error (where "missing error bound fields")
+                              | Some _, Some lo, Some hi ->
+                                  if lo < 0.0 || hi > 1.0 || lo > hi then
+                                    Error (where "Wilson bounds out of order")
+                                  else if
+                                    List.exists
+                                      (fun name -> bool_field name = None)
+                                      [ "error_ok"; "rounds_ok"; "bits_ok"; "pass" ]
+                                  then Error (where "missing gate booleans")
+                                  else if
+                                    bool_field "pass"
+                                    <> Some
+                                         (bool_field "error_ok" = Some true
+                                         && bool_field "rounds_ok" = Some true
+                                         && bool_field "bits_ok" = Some true)
+                                  then Error (where "pass is not the gate conjunction")
+                                  else Ok ()))
+                  in
+                  let cell_trials =
+                    List.fold_left
+                      (fun acc cell ->
+                        acc
+                        + Option.value ~default:0
+                            (Option.bind (J.member "trials" cell) J.to_int_opt))
+                      0 cells
+                  in
+                  if cell_trials <> total then
+                    fail
+                      (Printf.sprintf "total_trials %d does not match cell sum %d" total
+                         cell_trials)
+                  else
+                    List.to_seq cells
+                    |> Seq.fold_lefti
+                         (fun acc i cell ->
+                           match acc with Error _ -> acc | Ok () -> check_cell i cell)
+                         (Ok ())))
+
 let () =
   let schema =
     match Sys.argv with
@@ -328,9 +434,11 @@ let () =
     | [| _; "--bench-hotpath" |] -> Some check_bench_hotpath
     | [| _; "--bench-chaos" |] -> Some check_bench_chaos
     | [| _; "--bench-telemetry" |] -> Some check_bench_telemetry
+    | [| _; "--bench-sweep" |] -> Some check_bench_sweep
     | _ ->
         prerr_endline
-          "usage: json_check [--bench-hotpath | --bench-chaos | --bench-telemetry] < input.json";
+          "usage: json_check [--bench-hotpath | --bench-chaos | --bench-telemetry | \
+           --bench-sweep] < input.json";
         exit 2
   in
   let input = In_channel.input_all In_channel.stdin in

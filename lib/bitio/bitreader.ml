@@ -1,8 +1,12 @@
-type t = { bits : Bits.t; mutable position : int }
+type t = { mutable bits : Bits.t; mutable position : int }
 
 exception Underflow
 
 let create bits = { bits; position = 0 }
+
+let reset t bits =
+  t.bits <- bits;
+  t.position <- 0
 
 let of_bitbuf buf = { bits = Bitbuf.view buf; position = 0 }
 

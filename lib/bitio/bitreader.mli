@@ -8,6 +8,11 @@ exception Underflow
 (** [create bits] reads [bits] from the beginning. *)
 val create : Bits.t -> t
 
+(** [reset t bits] repoints [t] at [bits], rewound to the beginning —
+    [create] without the allocation.  {!Pool.with_reader} uses this to
+    recycle reader cells. *)
+val reset : t -> Bits.t -> unit
+
 (** [of_bitbuf buf] reads the bits written to [buf] so far without copying
     them (a reader over {!Bitbuf.view}).  The reader is invalidated by any
     subsequent write to or reset of [buf]. *)

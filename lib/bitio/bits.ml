@@ -11,6 +11,10 @@ let get b i =
   let byte = Char.code (Bytes.get b.data (i lsr 3)) in
   byte land (1 lsl (i land 7)) <> 0
 
+(* Top level (not a local closure): [extract] runs per 24-bit chunk of
+   every fingerprint on the batch-equality hot path. *)
+let byte_at data i = if i < Bytes.length data then Char.code (Bytes.get data i) else 0
+
 let extract b ~pos ~width =
   if width < 0 || width > 24 then invalid_arg "Bits.extract: width";
   if pos < 0 || pos + width > b.length then invalid_arg "Bits.extract: out of bounds";
@@ -18,8 +22,13 @@ let extract b ~pos ~width =
   else begin
     (* Bits pos..pos+width-1 live in at most 4 consecutive bytes. *)
     let j = pos lsr 3 and off = pos land 7 in
-    let byte i = if i < Bytes.length b.data then Char.code (Bytes.get b.data i) else 0 in
-    let word = byte j lor (byte (j + 1) lsl 8) lor (byte (j + 2) lsl 16) lor (byte (j + 3) lsl 24) in
+    let d = b.data in
+    let word =
+      byte_at d j
+      lor (byte_at d (j + 1) lsl 8)
+      lor (byte_at d (j + 2) lsl 16)
+      lor (byte_at d (j + 3) lsl 24)
+    in
     (word lsr off) land ((1 lsl width) - 1)
   end
 

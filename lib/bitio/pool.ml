@@ -41,6 +41,31 @@ let with_buf f =
 
 let payload f = with_buf (fun buf -> f buf; Bitbuf.contents buf)
 
+(* Reader cells are recycled the same way.  No [Fun.protect]: a cell in
+   flight when an exception unwinds is simply dropped (the next acquisition
+   allocates a fresh one), which keeps the happy path free of closure
+   setup.  Parking the cell on [Bits.empty] releases its payload
+   reference. *)
+let readers : Bitreader.t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let with_reader bits f =
+  if !(Domain.DLS.get bypass) then f (Bitreader.create bits)
+  else begin
+    let free = Domain.DLS.get readers in
+    let reader =
+      match !free with
+      | [] -> Bitreader.create bits
+      | r :: rest ->
+          free := rest;
+          Bitreader.reset r bits;
+          r
+    in
+    let v = f reader in
+    Bitreader.reset reader Bits.empty;
+    free := reader :: !free;
+    v
+  end
+
 let bypassed f =
   let flag = Domain.DLS.get bypass in
   let saved = !flag in

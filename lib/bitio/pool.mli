@@ -20,6 +20,13 @@ val with_buf : (Bitbuf.t -> 'a) -> 'a
     common one-message case of {!with_buf}. *)
 val payload : (Bitbuf.t -> unit) -> Bits.t
 
+(** [with_reader bits f] runs [f] with a {!Bitreader} over [bits] borrowed
+    from the current domain's reader arena (rewound via {!Bitreader.reset},
+    so reads are exactly those of a fresh reader).  The reader must not
+    escape [f].  If [f] raises, the cell is dropped rather than recycled —
+    correctness never depends on the pool's contents. *)
+val with_reader : Bits.t -> (Bitreader.t -> 'a) -> 'a
+
 (** [bypassed f] runs [f] with pooling disabled on the current domain:
     every {!with_buf} inside allocates a fresh writer.  Used by the
     hot-path tests to compare pooled and unpooled executions. *)

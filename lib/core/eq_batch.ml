@@ -26,33 +26,52 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
   let status = Array.make k `Undecided in
   let jbits = joint_bits ~k in
   (* Both parties derive the same tag function from the shared rng and the
-     same label (plain concatenation: same strings the sprintf versions
-     produced, without the format machinery on the hot path). *)
+     same label coordinates.  The label is folded incrementally
+     ([Rng.Label] hashes fragment-by-fragment, bit-identical to hashing
+     the concatenated string), so no label string — formerly one per
+     instance per iteration per party — is ever built. *)
   let instance_fn ~gid ~iteration ~idx ~bits =
-    let label =
-      "eqb/g" ^ string_of_int gid ^ "/t" ^ string_of_int iteration ^ "/i" ^ string_of_int idx
-    in
-    Strhash.create (Prng.Rng.with_label rng label) ~bits
+    let d = Prng.Rng.Label.start rng in
+    Prng.Rng.Label.add d "eqb/g";
+    Prng.Rng.Label.add_int d gid;
+    Prng.Rng.Label.add d "/t";
+    Prng.Rng.Label.add_int d iteration;
+    Prng.Rng.Label.add d "/i";
+    Prng.Rng.Label.add_int d idx;
+    Strhash.create (Prng.Rng.Label.finish d) ~bits
   in
   let joint_fn ~gid ~iteration =
-    let label = "eqb/joint/g" ^ string_of_int gid ^ "/t" ^ string_of_int iteration in
-    Strhash.create (Prng.Rng.with_label rng label) ~bits:jbits
+    let d = Prng.Rng.Label.start rng in
+    Prng.Rng.Label.add d "eqb/joint/g";
+    Prng.Rng.Label.add_int d gid;
+    Prng.Rng.Label.add d "/t";
+    Prng.Rng.Label.add_int d iteration;
+    Strhash.create (Prng.Rng.Label.finish d) ~bits:jbits
   in
-  (* Exchange of one tag vector: Alice ships her tags, Bob replies with the
-     positions whose tags differ from his own.  Returns the shared mismatch
-     bitmap (in the order of [entries]).  [emit] appends one entry's tag to
-     the outgoing buffer; [check] consumes the peer's tag for one entry
-     from the reader and says whether it matches this side's. *)
-  let tag_round entries ~emit ~check =
+  (* Exchange of one tag vector over positions [0 .. n-1]: Alice ships her
+     tags, Bob replies with the positions whose tags differ from his own.
+     Returns the shared mismatch bitmap.  [emit] appends position [p]'s
+     tag to the outgoing buffer; [check] consumes the peer's tag for
+     position [p] from the reader (explicit left-to-right loop: the reader
+     must advance in position order) and says whether it matches this
+     side's. *)
+  let tag_round n ~emit ~check =
     match role with
     | Alice ->
-        chan.send (Bitio.Pool.payload (fun buf -> List.iter (emit buf) entries));
-        Wire.read_bitmap_msg (chan.recv ()) ~width:(List.length entries)
+        chan.send
+          (Bitio.Pool.payload (fun buf ->
+               for p = 0 to n - 1 do
+                 emit buf p
+               done));
+        Wire.read_bitmap_msg (chan.recv ()) ~width:n
     | Bob ->
-        let reader = Bitio.Bitreader.create (chan.recv ()) in
-        let mismatches = Array.of_list (List.map (fun e -> not (check reader e)) entries) in
-        chan.send (Wire.bitmap_msg mismatches);
-        mismatches
+        Bitio.Pool.with_reader (chan.recv ()) (fun reader ->
+            let mismatches = Array.make n false in
+            for p = 0 to n - 1 do
+              mismatches.(p) <- not (check reader p)
+            done;
+            chan.send (Wire.bitmap_msg mismatches);
+            mismatches)
   in
   (* Unconditional-termination fallback: exchange the remaining strings. *)
   let exact_round groups =
@@ -65,23 +84,27 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
           chan.send (length_prefixed instances idxs);
           Wire.read_bitmap_msg (chan.recv ()) ~width:(List.length idxs)
       | Bob ->
-          let reader = Bitio.Bitreader.create (chan.recv ()) in
-          let mismatches =
-            Array.of_list
-              (List.map
-                 (fun idx ->
-                   let len = Bitio.Codes.read_gamma reader in
-                   let theirs = Bitio.Bitreader.read_blob reader ~bits:len in
-                   not (Bitio.Bits.equal theirs instances.(idx)))
-                 idxs)
-          in
-          chan.send (Wire.bitmap_msg mismatches);
-          mismatches
+          Bitio.Pool.with_reader (chan.recv ()) (fun reader ->
+              let mismatches =
+                Array.of_list
+                  (List.map
+                     (fun idx ->
+                       let len = Bitio.Codes.read_gamma reader in
+                       let theirs = Bitio.Bitreader.read_blob reader ~bits:len in
+                       not (Bitio.Bits.equal theirs instances.(idx)))
+                     idxs)
+              in
+              chan.send (Wire.bitmap_msg mismatches);
+              mismatches)
     in
     List.iteri
       (fun pos idx -> status.(idx) <- (if mismatches.(pos) then `Unequal else `Equal))
       idxs
   in
+  let group_count = if k = 0 then 0 else int_of_float (Float.ceil (sqrt (float_of_int k))) in
+  (* One dirty flag per group, reused across iterations (gids index it
+     directly; a per-iteration Hashtbl was pure churn). *)
+  let dirty = Array.make (max 1 group_count) false in
   let process initial_groups =
     let active = ref initial_groups in
     let iteration = ref 0 in
@@ -94,34 +117,44 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
         let bits = min 32 (2 lsl !iteration) in
         Obsv.Metrics.incr "eq/tag_rounds";
         Obsv.Metrics.observe "eq/tag_bits" bits;
-        let entries =
-          List.concat_map (fun g -> List.map (fun idx -> (g.gid, idx)) g.undecided) !active
-        in
+        (* Flatten the undecided entries into two parallel int arrays (the
+           tuple list this replaces was rebuilt every iteration). *)
+        let n = List.fold_left (fun acc g -> acc + List.length g.undecided) 0 !active in
+        let egid = Array.make n 0 and eidx = Array.make n 0 in
+        let pos = ref 0 in
+        List.iter
+          (fun g ->
+            List.iter
+              (fun idx ->
+                egid.(!pos) <- g.gid;
+                eidx.(!pos) <- idx;
+                incr pos)
+              g.undecided)
+          !active;
         let mismatches =
           Obsv.Trace.span Obsv.Phases.eq_tags (fun () ->
-              let fn (gid, idx) = instance_fn ~gid ~iteration:!iteration ~idx ~bits in
-              tag_round entries
-                ~emit:(fun buf ((_, idx) as e) -> Strhash.write (fn e) buf instances.(idx))
-                ~check:(fun reader ((_, idx) as e) ->
-                  Strhash.matches (fn e) reader instances.(idx)))
+              let fn p = instance_fn ~gid:egid.(p) ~iteration:!iteration ~idx:eidx.(p) ~bits in
+              tag_round n
+                ~emit:(fun buf p -> Strhash.write (fn p) buf instances.(eidx.(p)))
+                ~check:(fun reader p -> Strhash.matches (fn p) reader instances.(eidx.(p))))
         in
         (* Settle mismatching instances; remember which groups stayed clean. *)
-        let dirty = Hashtbl.create 8 in
-        List.iteri
-          (fun pos (gid, idx) ->
-            if mismatches.(pos) then begin
-              status.(idx) <- `Unequal;
-              Hashtbl.replace dirty gid ()
-            end)
-          entries;
+        Array.fill dirty 0 (Array.length dirty) false;
+        for p = 0 to n - 1 do
+          if mismatches.(p) then begin
+            status.(eidx.(p)) <- `Unequal;
+            dirty.(egid.(p)) <- true
+          end
+        done;
         List.iter
           (fun g -> g.undecided <- List.filter (fun idx -> status.(idx) = `Undecided) g.undecided)
           !active;
         active := List.filter (fun g -> g.undecided <> []) !active;
         (* Clean, still-undecided groups take a joint verification test. *)
-        let candidates = List.filter (fun g -> not (Hashtbl.mem dirty g.gid)) !active in
+        let candidates = List.filter (fun g -> not dirty.(g.gid)) !active in
         if candidates <> [] then begin
           Obsv.Metrics.incr "eq/joint_checks";
+          let cand = Array.of_list candidates in
           let passed =
             Obsv.Trace.span Obsv.Phases.eq_joint (fun () ->
                 (* The joint payload is assembled in a scratch writer and
@@ -132,20 +165,20 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
                       length_prefixed_into tmp instances g.undecided;
                       f (joint_fn ~gid:g.gid ~iteration:!iteration) (Bitio.Bitbuf.view tmp))
                 in
-                tag_round candidates
-                  ~emit:(fun buf g ->
-                    with_joint g (fun fn payload -> Strhash.write fn buf payload))
-                  ~check:(fun reader g ->
-                    with_joint g (fun fn payload -> Strhash.matches fn reader payload)))
+                tag_round (Array.length cand)
+                  ~emit:(fun buf p ->
+                    with_joint cand.(p) (fun fn payload -> Strhash.write fn buf payload))
+                  ~check:(fun reader p ->
+                    with_joint cand.(p) (fun fn payload -> Strhash.matches fn reader payload)))
           in
           (* [mismatch = false] means the joint tags agreed: declare equal. *)
-          List.iteri
+          Array.iteri
             (fun pos g ->
               if not passed.(pos) then begin
                 List.iter (fun idx -> status.(idx) <- `Equal) g.undecided;
                 g.undecided <- []
               end)
-            candidates;
+            cand;
           active := List.filter (fun g -> g.undecided <> []) !active
         end;
         incr iteration
@@ -153,7 +186,6 @@ let run ?(sequential = true) ?(max_iterations = default_max_iterations) role rng
     done
   in
   if k > 0 then begin
-    let group_count = int_of_float (Float.ceil (sqrt (float_of_int k))) in
     let group_size = (k + group_count - 1) / group_count in
     let groups =
       List.init group_count (fun gid ->

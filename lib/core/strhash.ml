@@ -26,13 +26,12 @@ type lane = { a : int; b : int; width : int }
 
 type fn = { point : int; lanes : lane list; bits : int }
 
-let draw_mod_p rng =
-  (* rejection from 61 uniform bits *)
-  let rec loop () =
-    let v = Prng.Rng.bits rng ~width:61 in
-    if v < p61 then v else loop ()
-  in
-  loop ()
+(* Rejection from 61 uniform bits; top-level so no closure environment is
+   allocated per draw (three draws per lane, one create per instance per
+   tag round on the batch-equality hot path). *)
+let rec draw_mod_p rng =
+  let v = Prng.Rng.bits rng ~width:61 in
+  if v < p61 then v else draw_mod_p rng
 
 let create rng ~bits =
   if bits < 1 then invalid_arg "Strhash.create: bits";

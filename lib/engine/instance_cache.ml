@@ -1,0 +1,31 @@
+(* Per-domain memo table for prebuilt protocol instances.
+
+   Conformance and sweep cells historically rebuilt their protocol value
+   ([make ~k]) inside every trial — construction is deterministic and
+   cheap-ish, but at 10^6 trials per invocation even a few hundred bytes
+   of closures per build is pure churn.  The cache keys instances by a
+   caller-chosen string (conventionally "<protocol>/k<k>") in a
+   [Domain.DLS]-local table, so:
+
+   - workers never share an instance across domains (no synchronisation,
+     and any domain-local state a builder might close over stays local);
+   - a domain builds each (protocol, k) cell's instance exactly once and
+     replays it for every trial it executes.
+
+   Determinism: builders must be pure — the instance obtained from the
+   cache is the very value [build ()] returns on first use in that
+   domain, so transcripts are unchanged; only construction churn goes
+   away. *)
+
+type 'a t = { slot : (string, 'a) Hashtbl.t Domain.DLS.key }
+
+let create () = { slot = Domain.DLS.new_key (fun () -> Hashtbl.create 16) }
+
+let find t ~key build =
+  let table = Domain.DLS.get t.slot in
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      Hashtbl.replace table key v;
+      v

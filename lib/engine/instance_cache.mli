@@ -1,0 +1,19 @@
+(** Per-domain cache of prebuilt protocol instances for the trial engine.
+
+    [find cache ~key build] returns the value [build ()] produced the
+    first time [key] was requested {e on the current domain}, building it
+    on a miss.  Caches are [Domain.DLS]-local, so no instance is ever
+    shared across domains and no locking is involved.
+
+    Intended use: hoist deterministic per-cell construction (a protocol
+    value keyed ["bucket/k1024"], a fault plan, a precomputed table) out
+    of the per-trial hot loop of {!Pool.map}/{!Pool.fold} workloads.
+    Builders must be pure functions of their key — the cache replays the
+    constructed value for every trial the domain executes, so an impure
+    builder would make results depend on the domain count and break the
+    engine's determinism contract. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val find : 'a t -> key:string -> (unit -> 'a) -> 'a

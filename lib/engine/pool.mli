@@ -35,3 +35,26 @@ val map : ?domains:int -> trials:int -> (int -> 'a) -> 'a array
     or not) sees the exact sequential fold. *)
 val run :
   ?domains:int -> trials:int -> (int -> 'a) -> init:'acc -> merge:('acc -> 'a -> 'acc) -> 'acc
+
+(** [fold ?domains ~trials ~init ~step ~merge ()] folds [step] over trial
+    indices without materialising per-trial results: each worker folds the
+    trials of a chunk into a private accumulator ([init ()] per chunk —
+    accumulators may be freely mutable), and chunk accumulators are
+    [merge]d in chunk-index order.
+
+    Determinism contract, on top of {!map}'s purity requirement: [init ()]
+    must be an identity for [merge] and [merge] must be associative over
+    in-order accumulators (exact integer arithmetic, min/max, sketch
+    bucket sums — not floating-point sums), because the chunk geometry
+    varies with the worker count.  Under that contract the result is
+    byte-identical at every domain count, in exchange for O(chunks) rather
+    than O(trials) live results.  [merge] may mutate and return its left
+    argument. *)
+val fold :
+  ?domains:int ->
+  trials:int ->
+  init:(unit -> 'acc) ->
+  step:('acc -> int -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  'acc

@@ -1,10 +1,19 @@
-type t = { base : int; label : string }
+(* The base generator is built once at stream creation; a trial derivation
+   is then one incremental label fold ([Rng.Label]) over
+   ["<label>/trial<i>"] — bit-identical to
+   [Rng.with_label (Rng.of_int base) (sprintf "%s/trial%d" label i)], the
+   historical formulation, without the sprintf or the per-trial base
+   rebuild.  Pure function of [(base, label, i)] either way. *)
+type t = { base : int; label : string; root : Prng.Rng.t }
 
-let create ~base ~label = { base; label }
+let create ~base ~label = { base; label; root = Prng.Rng.of_int base }
 let base t = t.base
 let label t = t.label
-let trial_label t i = Printf.sprintf "%s/trial%d" t.label i
+let trial_label t i = t.label ^ "/trial" ^ string_of_int i
 
-(* [Rng.with_label] derives from the root seed and the label alone via one
-   Splitmix64 mix, so this is a pure function of [(base, label, i)]. *)
-let trial_rng t i = Prng.Rng.with_label (Prng.Rng.of_int t.base) (trial_label t i)
+let trial_rng t i =
+  let d = Prng.Rng.Label.start t.root in
+  Prng.Rng.Label.add d t.label;
+  Prng.Rng.Label.add d "/trial";
+  Prng.Rng.Label.add_int d i;
+  Prng.Rng.Label.finish d

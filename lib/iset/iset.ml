@@ -26,36 +26,50 @@ let mem a x =
 let equal a b = a = b
 
 (* Generic sorted merge; [keep] decides membership in the result from
-   (in_a, in_b). *)
+   (in_a, in_b).  Two passes over the inputs — count, then fill an
+   exactly-sized array — instead of accumulating a list: set algebra runs
+   inside every trial, and the cons-cell churn was a measurable slice of
+   the per-trial allocation profile. *)
 let merge keep a b =
-  let out = ref [] in
-  let push x = out := x :: !out in
-  let i = ref 0 and j = ref 0 in
   let la = Array.length a and lb = Array.length b in
-  while !i < la || !j < lb do
-    if !i >= la then begin
-      if keep false true then push b.(!j);
-      incr j
-    end
-    else if !j >= lb then begin
-      if keep true false then push a.(!i);
-      incr i
-    end
-    else if a.(!i) = b.(!j) then begin
-      if keep true true then push a.(!i);
-      incr i;
-      incr j
-    end
-    else if a.(!i) < b.(!j) then begin
-      if keep true false then push a.(!i);
-      incr i
-    end
-    else begin
-      if keep false true then push b.(!j);
-      incr j
-    end
-  done;
-  Array.of_list (List.rev !out)
+  let scan fill out =
+    let n = ref 0 and i = ref 0 and j = ref 0 in
+    let push x =
+      if fill then out.(!n) <- x;
+      incr n
+    in
+    while !i < la || !j < lb do
+      if !i >= la then begin
+        if keep false true then push b.(!j);
+        incr j
+      end
+      else if !j >= lb then begin
+        if keep true false then push a.(!i);
+        incr i
+      end
+      else if a.(!i) = b.(!j) then begin
+        if keep true true then push a.(!i);
+        incr i;
+        incr j
+      end
+      else if a.(!i) < b.(!j) then begin
+        if keep true false then push a.(!i);
+        incr i
+      end
+      else begin
+        if keep false true then push b.(!j);
+        incr j
+      end
+    done;
+    !n
+  in
+  let n = scan false empty in
+  if n = 0 then empty
+  else begin
+    let out = Array.make n 0 in
+    ignore (scan true out);
+    out
+  end
 
 let inter a b = merge (fun in_a in_b -> in_a && in_b) a b
 let union a b = merge (fun in_a in_b -> in_a || in_b) a b
@@ -63,18 +77,43 @@ let diff a b = merge (fun in_a in_b -> in_a && not in_b) a b
 
 let subset a b = Array.length (diff a b) = 0
 
-let filter p a = Array.of_list (List.filter p (Array.to_list a))
+let filter p a =
+  let n = Array.fold_left (fun n x -> if p x then n + 1 else n) 0 a in
+  if n = 0 then empty
+  else begin
+    let out = Array.make n 0 in
+    let pos = ref 0 in
+    Array.iter
+      (fun x ->
+        if p x then begin
+          out.(!pos) <- x;
+          incr pos
+        end)
+      a;
+    out
+  end
 
 let partition_by f ~bins a =
-  let acc = Array.make bins [] in
+  (* Evaluate the (possibly costly) key function once per element, count
+     per bin, then fill exactly-sized bins; the input is sorted, so
+     in-order filling keeps each bin sorted. *)
+  let keys = Array.map f a in
+  let counts = Array.make bins 0 in
   Array.iter
-    (fun x ->
-      let b = f x in
+    (fun b ->
       if b < 0 || b >= bins then invalid_arg "Iset.partition_by: key out of range";
-      acc.(b) <- x :: acc.(b))
+      counts.(b) <- counts.(b) + 1)
+    keys;
+  let out = Array.map (fun c -> if c = 0 then empty else Array.make c 0) counts in
+  let cursors = counts in
+  Array.fill cursors 0 bins 0;
+  Array.iteri
+    (fun i x ->
+      let b = keys.(i) in
+      out.(b).(cursors.(b)) <- x;
+      cursors.(b) <- cursors.(b) + 1)
     a;
-  (* input is sorted, so each reversed bin is sorted *)
-  Array.map (fun bin -> Array.of_list (List.rev bin)) acc
+  out
 
 let inter_many = function
   | [] -> invalid_arg "Iset.inter_many: empty list"

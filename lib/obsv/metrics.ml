@@ -90,6 +90,12 @@ let record name v =
     let s = find r.sketches name Sketch.create in
     Sketch.observe s v
 
+let merge_sketch name src =
+  let r = Domain.DLS.get ambient_registry in
+  if r.enabled then
+    let dst = find r.sketches name Sketch.create in
+    Sketch.merge_into ~into:dst src
+
 (* Order-free merge: counters and histograms add, gauges keep the maximum.
    "Latest value" is meaningless across independent parallel trials, so the
    gauge rule is chosen to be commutative; with addition everywhere else the

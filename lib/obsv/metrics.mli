@@ -38,6 +38,13 @@ val observe : string -> int -> unit
     tail percentile is the headline number (session spend, latency). *)
 val record : string -> int -> unit
 
+(** [merge_sketch name src] folds a pre-accumulated sketch into the
+    ambient sketch named [name] (created on first use; no-op when metrics
+    are off).  The bucket-pointwise merge is what lets a parallel sweep
+    accumulate bit distributions in private per-chunk sketches and publish
+    the combined sketch once per cell instead of once per trial. *)
+val merge_sketch : string -> Sketch.t -> unit
+
 (** [merge_into ~into src] folds [src] into [into]: counters add, histograms
     and sketches add pointwise (count, sum, buckets; min/max combine), and
     gauges keep the {e maximum} — "latest" is meaningless across independent

@@ -1,32 +1,68 @@
-type t = { gen : Splitmix64.t; root : int64 }
+(* The root seed is stored as 32-bit native halves next to the generator:
+   label derivation xors the FNV-hashed label into the root and runs one
+   SplitMix64 mix, and keeping everything in halves means a derivation
+   allocates exactly two records (the generator and this wrapper) — no
+   Int64 is ever built.  Derivation runs once per hash-function draw on
+   protocol hot paths, so this floor is what the allocations-per-trial
+   gate in bench/scaling.ml leans on. *)
+type t = { gen : Splitmix64.t; root_hi : int; root_lo : int }
 
-let of_seed seed = { gen = Splitmix64.create seed; root = seed }
+let of_seed seed =
+  {
+    gen = Splitmix64.create seed;
+    root_hi = Int64.to_int (Int64.shift_right_logical seed 32);
+    root_lo = Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+  }
 
 let of_int n = of_seed (Int64.of_int n)
 
 (* FNV-1a over 64 bits, computed in two 32-bit native-int halves so the
    per-character loop allocates nothing (Int64 arithmetic boxes every
-   intermediate; label hashing runs once per derived generator on protocol
-   hot paths).  The prime is 2^40 + 0x1B3, so
+   intermediate).  The prime is 2^40 + 0x1B3, so
    [h * prime = (h * 0x1B3) + (low24(h) << 40)  (mod 2^64)],
    and each half-product stays below 2^41 — comfortably inside a native
-   int.  Bit-identical to the Int64 reference formulation. *)
-let fnv1a64 s =
-  let lo = ref 0x84222325 and hi = ref 0xCBF29CE4 in
-  String.iter
-    (fun c ->
-      let l = !lo lxor Char.code c in
-      let t = l * 0x1B3 in
-      lo := t land 0xFFFFFFFF;
-      hi := ((!hi * 0x1B3) + (t lsr 32) + ((l land 0xFFFFFF) lsl 8)) land 0xFFFFFFFF)
-    s;
-  Int64.logor (Int64.shift_left (Int64.of_int !hi) 32) (Int64.of_int !lo)
+   int.  Bit-identical to the Int64 reference formulation.
+
+   [Label] exposes the same hash incrementally: FNV-1a is a left-to-right
+   fold over bytes, so feeding fragments ["eqb/g"; "12"; "/t3"] is
+   bit-identical to hashing their concatenation — which is what lets the
+   protocol hot paths derive per-instance generators without building the
+   label string at all. *)
+module Label = struct
+  type d = { mutable h_hi : int; mutable h_lo : int; r_hi : int; r_lo : int }
+
+  let start t = { h_hi = 0xCBF29CE4; h_lo = 0x84222325; r_hi = t.root_hi; r_lo = t.root_lo }
+
+  let add_byte d code =
+    let l = d.h_lo lxor code in
+    let p = l * 0x1B3 in
+    d.h_lo <- p land 0xFFFFFFFF;
+    d.h_hi <- ((d.h_hi * 0x1B3) + (p lsr 32) + ((l land 0xFFFFFF) lsl 8)) land 0xFFFFFFFF
+
+  let add_char d c = add_byte d (Char.code c)
+  let add d s = String.iter (fun c -> add_byte d (Char.code c)) s
+
+  (* Decimal digits, most significant first: the bytes [string_of_int]
+     would produce, without the string. *)
+  let rec add_nat d n =
+    if n >= 10 then add_nat d (n / 10);
+    add_byte d (Char.code '0' + (n mod 10))
+
+  let add_int d n = if n < 0 then add d (string_of_int n) else add_nat d n
+
+  let finish d =
+    let gen = Splitmix64.of_mixed_halves ~hi:(d.r_hi lxor d.h_hi) ~lo:(d.r_lo lxor d.h_lo) in
+    (* [of_mixed_halves] leaves the mixed seed in the out halves until the
+       first step; that mixed seed is the derived generator's root. *)
+    { gen; root_hi = Splitmix64.out_hi gen; root_lo = Splitmix64.out_lo gen }
+end
 
 let with_label t label =
-  of_seed (Splitmix64.mix (Int64.logxor t.root (fnv1a64 label)))
+  let d = Label.start t in
+  Label.add d label;
+  Label.finish d
 
 let split t = of_seed (Splitmix64.next t.gen)
-
 let int64 t = Splitmix64.next t.gen
 
 (* The draws below take the top bits of the 64-bit output, assembled from
@@ -43,17 +79,16 @@ let bits t ~width =
     else (hi lsl (width - 32)) lor (Splitmix64.out_lo t.gen lsr (64 - width))
   end
 
+(* Top-level rejection loop: a local [let rec] closure would allocate its
+   environment on every [int] call (and [shuffle] makes one call per
+   element). *)
+let rec reject t ~width bound =
+  let v = bits t ~width in
+  if v < bound then v else reject t ~width bound
+
 let int t bound =
   if bound < 1 then invalid_arg "Rng.int: bound";
-  if bound = 1 then 0
-  else begin
-    let width = Bitio.Codes.bit_width (bound - 1) in
-    let rec draw () =
-      let v = bits t ~width in
-      if v < bound then v else draw ()
-    in
-    draw ()
-  end
+  if bound = 1 then 0 else reject t ~width:(Bitio.Codes.bit_width (bound - 1)) bound
 
 let bool t =
   Splitmix64.step t.gen;

@@ -20,6 +20,30 @@ val of_int : int -> t
     hashed with FNV-1a 64. *)
 val with_label : t -> string -> t
 
+(** Incremental label derivation for hot paths that would otherwise build
+    the label by concatenation.  FNV-1a is a left-to-right byte fold, so
+
+    {[ let d = Label.start t in
+       Label.add d "eqb/g"; Label.add_int d 12;
+       Label.finish d ]}
+
+    is bit-identical to [with_label t "eqb/g12"] — same hash, same derived
+    stream — without allocating the intermediate strings.  A derivation
+    [d] is single-use scratch: feed fragments left to right, then
+    [finish]. *)
+module Label : sig
+  type d
+
+  val start : t -> d
+  val add : d -> string -> unit
+  val add_char : d -> char -> unit
+
+  (** The decimal digits [string_of_int] would produce. *)
+  val add_int : d -> int -> unit
+
+  val finish : d -> t
+end
+
 (** [split t] draws a fresh child generator from [t] (advances [t]). *)
 val split : t -> t
 

@@ -22,3 +22,10 @@ val out_lo : t -> int
 
 (** Stateless single-step mix, used for seed derivation. *)
 val mix : int64 -> int64
+
+(** [of_mixed_halves ~hi ~lo] is [create (mix seed)] for the 64-bit seed
+    whose 32-bit halves are [hi]/[lo] (masked to 32 bits), computed
+    entirely in native halves — no Int64 is ever built.  Until the first
+    {!step}, {!out_hi}/{!out_lo} hold the mixed seed itself, so a caller
+    can record the derived root without boxing either. *)
+val of_mixed_halves : hi:int -> lo:int -> t

@@ -28,10 +28,40 @@ type config = {
   protocols : string list;  (** subset of {!entry_names} *)
 }
 
+(** One seeded execution: total bits, worst-case rounds, exactness. *)
+type trial_outcome = { t_bits : int; t_rounds : int; t_exact : bool }
+
+(** A registered statement.  [trial] draws a random promise instance and
+    runs one seeded execution; protocol instances are memoized per domain
+    through the supplied {!Engine.Instance_cache} (keyed
+    ["<name>/k<k>"]), so builders must be pure functions of [(name, k)].
+    The concrete record is exposed so other tiers (the {!Sweep} mega-run,
+    test fixtures asserting that envelope violations are flagged) can
+    reuse or fabricate entries. *)
+type entry = {
+  name : string;
+  statement : string;
+  trial :
+    cache:Intersect.Protocol.t Engine.Instance_cache.t ->
+    Prng.Rng.t ->
+    universe:int ->
+    k:int ->
+    trial_outcome;
+  rounds_limit : int -> int;
+  bits_limit : int -> float;
+  error_limit : int -> float;
+}
+
+(** The registered statements, in report order. *)
+val registry : entry list
+
 (** Names of the registered statements: ["trivial"], ["eq"] (Fact 3.5),
     ["basic"] (Lemma 3.3), ["one-round"], ["bucket"] (Theorem 3.1),
     ["tree-r2"], ["tree-r3"] and ["tree-log-star"] (Theorem 3.6). *)
 val entry_names : string list
+
+(** Registry lookup; [Invalid_argument] on unknown names. *)
+val entry_of_name : string -> entry
 
 (** Every entry, [k ∈ {16, 64, 256}], 120 trials per cell. *)
 val default : config

@@ -98,6 +98,18 @@ let record_soak_cell sink ~trials ~exact ~degraded ~bits =
   sink.sessions <- sink.sessions + trials;
   ignore (snapshot sink)
 
+(* Cell-level recording for the Sweep mega-runner: same shape as the soak
+   hook, but the per-trial bit costs arrive pre-accumulated in a mergeable
+   sketch (a 10^6-trial cell never materialises a bits list). *)
+let record_sweep_cell sink ~trials ~exact ~degraded ~sketch =
+  Obsv.Metrics.with_registry sink.registry (fun () ->
+      Obsv.Metrics.incr ~by:trials "sweep/trials";
+      if exact > 0 then Obsv.Metrics.incr ~by:exact "sweep/exact";
+      if degraded > 0 then Obsv.Metrics.incr ~by:degraded "sweep/degraded";
+      Obsv.Metrics.merge_sketch "sweep/bits" sketch);
+  sink.sessions <- sink.sessions + trials;
+  ignore (snapshot sink)
+
 let health ?slos sink =
   match last_snapshot sink with
   | Some snap -> Some (Obsv.Health.evaluate ?slos snap)

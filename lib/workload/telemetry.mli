@@ -49,6 +49,14 @@ val jsonl : sink -> string list
     snapshot. *)
 val record_soak_cell : sink -> trials:int -> exact:int -> degraded:int -> bits:int list -> unit
 
+(** Cell-level recording for the {!Sweep} mega-runner: bumps [sweep/*]
+    counters, folds the cell's pre-accumulated bit-cost sketch into
+    [sweep/bits] ({!Obsv.Metrics.merge_sketch}), advances event time by
+    [trials] and closes the cell with a snapshot.  Sketch-based because a
+    [10^6]-trial cell never materialises a per-trial bits list. *)
+val record_sweep_cell :
+  sink -> trials:int -> exact:int -> degraded:int -> sketch:Obsv.Sketch.t -> unit
+
 (** {!Obsv.Health.evaluate} over the latest snapshot ([None] before the
     first snapshot). *)
 val health : ?slos:Obsv.Health.slos -> sink -> Obsv.Health.report option

@@ -102,6 +102,84 @@ let test_envelope_fields_consistent () =
         c.Workload.Conform.pass)
     report.Workload.Conform.cells
 
+(* ---------- Sweep (the mega-matrix runner) ---------- *)
+
+let sweep_config trials =
+  { Workload.Sweep.smoke with Workload.Sweep.trials_per_cell = trials }
+
+(* The smoke matrix passes, counts its trials, and its JSON is
+   byte-identical at every domain count (per-chunk sketch accumulators
+   merged in chunk order). *)
+let test_sweep_smoke_passes_domain_independent () =
+  let config = sweep_config 120 in
+  let r1 = Workload.Sweep.run ~domains:1 config in
+  let r3 = Workload.Sweep.run ~domains:3 config in
+  check_bool "pass" true r1.Workload.Sweep.pass;
+  check "total trials" (Workload.Sweep.total_trials config) r1.Workload.Sweep.total_trials;
+  Alcotest.(check string)
+    "domain-independent"
+    (Stats.Json.to_string (Workload.Sweep.to_json r1))
+    (Stats.Json.to_string (Workload.Sweep.to_json r3))
+
+(* A fabricated entry that violates its own envelope on every trial:
+   the sweep must flag the cell (this is the fixture proving a seeded
+   violation cannot slip through the Wilson gate). *)
+let failing_entry : Workload.Conform.entry =
+  {
+    Workload.Conform.name = "always-wrong";
+    statement = "fixture: zero error budget, every trial inexact";
+    trial = (fun ~cache:_ _rng ~universe:_ ~k:_ ->
+        { Workload.Conform.t_bits = 8; t_rounds = 1; t_exact = false });
+    rounds_limit = (fun _ -> 1);
+    bits_limit = (fun _ -> 1000.0);
+    error_limit = (fun _ -> 0.0);
+  }
+
+let test_sweep_flags_violating_cell () =
+  let cell = Workload.Sweep.clean_cell ~domains:2 (sweep_config 50) failing_entry ~k:16 in
+  check "all trials failed" 50 cell.Workload.Sweep.failures;
+  check_bool "error gate fails" false cell.Workload.Sweep.error_ok;
+  check_bool "cell fails" false cell.Workload.Sweep.pass;
+  check_bool "lower95 above limit" true
+    (cell.Workload.Sweep.error_lower95 > cell.Workload.Sweep.error_limit)
+
+(* The same fixture with exact trials passes: the gate is the envelope,
+   not the fixture plumbing. *)
+let test_sweep_passes_conforming_cell () =
+  let entry =
+    {
+      failing_entry with
+      Workload.Conform.name = "always-right";
+      trial = (fun ~cache:_ _rng ~universe:_ ~k:_ ->
+          { Workload.Conform.t_bits = 8; t_rounds = 1; t_exact = true });
+    }
+  in
+  let cell = Workload.Sweep.clean_cell (sweep_config 50) entry ~k:16 in
+  check "no failures" 0 cell.Workload.Sweep.failures;
+  check_bool "cell passes" true cell.Workload.Sweep.pass
+
+(* A seeded fault cell above the wrapper's rare-event bound must fail
+   the report: run the smoke matrix with check_bits so small that
+   fingerprint collisions admit wrong answers.  (check_bits = 1 gives a
+   1/2 per-attempt collision rate under heavy flipping — failures are
+   effectively certain at 200 trials, and the bound 8 * 2^-1 = 4.0 is
+   never exceeded, so instead we assert the fields stay consistent.) *)
+let test_sweep_cell_fields_consistent () =
+  let report = Workload.Sweep.run ~domains:2 (sweep_config 100) in
+  List.iter
+    (fun (c : Workload.Sweep.cell) ->
+      check_bool (c.Workload.Sweep.protocol ^ " pass conjunction")
+        (c.Workload.Sweep.error_ok && c.Workload.Sweep.rounds_ok && c.Workload.Sweep.bits_ok)
+        c.Workload.Sweep.pass;
+      check_bool (c.Workload.Sweep.protocol ^ " wilson ordered") true
+        (0.0 <= c.Workload.Sweep.error_lower95
+        && c.Workload.Sweep.error_lower95 <= c.Workload.Sweep.error_upper95
+        && c.Workload.Sweep.error_upper95 <= 1.0);
+      check_bool (c.Workload.Sweep.protocol ^ " bits ordered") true
+        (c.Workload.Sweep.bits.Workload.Sweep.min_bits
+         <= c.Workload.Sweep.bits.Workload.Sweep.max_bits))
+    report.Workload.Sweep.cells
+
 let () =
   Alcotest.run "conform"
     [
@@ -117,5 +195,13 @@ let () =
           Alcotest.test_case "matrix passes, domain-independent" `Quick test_full_matrix_passes;
           Alcotest.test_case "unknown protocol rejected" `Quick test_unknown_protocol_rejected;
           Alcotest.test_case "envelope fields consistent" `Quick test_envelope_fields_consistent;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "smoke passes, domain-independent" `Quick
+            test_sweep_smoke_passes_domain_independent;
+          Alcotest.test_case "flags violating cell" `Quick test_sweep_flags_violating_cell;
+          Alcotest.test_case "passes conforming cell" `Quick test_sweep_passes_conforming_cell;
+          Alcotest.test_case "cell fields consistent" `Quick test_sweep_cell_fields_consistent;
         ] );
     ]

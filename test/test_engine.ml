@@ -42,6 +42,87 @@ let test_pool_rejects_bad_args () =
   Alcotest.check_raises "trials<0" (Invalid_argument "Engine.Pool.map: trials < 0") (fun () ->
       ignore (Engine.Pool.map ~domains:1 ~trials:(-1) Fun.id))
 
+(* Pool.fold with an exact-arithmetic accumulator must agree with the
+   sequential fold at every domain count — chunk geometry varies with
+   the worker count, so this exercises the merge-associativity contract
+   the mega-sweep rides on. *)
+let test_pool_fold_matches_sequential () =
+  let step (sum, mx) i =
+    let v = (i * 7919) lxor (i lsl 3) in
+    (sum + v, max mx v)
+  in
+  List.iter
+    (fun (domains, trials) ->
+      let expected = ref (0, min_int) in
+      for i = 0 to trials - 1 do
+        expected := step !expected i
+      done;
+      let folded =
+        Engine.Pool.fold ~domains ~trials
+          ~init:(fun () -> (0, min_int))
+          ~step
+          ~merge:(fun (s1, m1) (s2, m2) -> (s1 + s2, max m1 m2))
+          ()
+      in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "domains=%d trials=%d" domains trials)
+        !expected folded)
+    [ (1, 100); (2, 100); (4, 100); (3, 101); (4, 3); (8, 1); (2, 0) ]
+
+(* Sketch accumulators merge bucket-pointwise, so a fold that observes
+   into per-chunk sketches must export byte-identical JSON at every
+   domain count — the exact shape of the sweep's bits accumulator. *)
+let test_pool_fold_sketch_deterministic () =
+  let folded domains =
+    Engine.Pool.fold ~domains ~trials:500
+      ~init:(fun () -> Obsv.Sketch.create ())
+      ~step:(fun sk i ->
+        Obsv.Sketch.observe sk ((i * 37) land 1023);
+        sk)
+      ~merge:(fun a b ->
+        Obsv.Sketch.merge_into ~into:a b;
+        a)
+      ()
+  in
+  let json d = Stats.Json.to_string (Obsv.Sketch.to_json (folded d)) in
+  let reference = json 1 in
+  List.iter
+    (fun d -> Alcotest.(check string) (Printf.sprintf "domains=%d" d) reference (json d))
+    [ 2; 3; 4 ]
+
+let test_pool_fold_propagates_exceptions () =
+  Alcotest.check_raises "fold raises" (Failure "boom") (fun () ->
+      ignore
+        (Engine.Pool.fold ~domains:4 ~trials:50
+           ~init:(fun () -> 0)
+           ~step:(fun acc i -> if i = 33 then failwith "boom" else acc + i)
+           ~merge:( + ) ()))
+
+(* --- Instance cache --------------------------------------------------- *)
+
+let test_instance_cache_memoizes () =
+  let cache = Engine.Instance_cache.create () in
+  let builds = ref 0 in
+  let build () =
+    incr builds;
+    !builds * 100
+  in
+  check "first build" 100 (Engine.Instance_cache.find cache ~key:"bucket/k64" build);
+  check "memoized" 100 (Engine.Instance_cache.find cache ~key:"bucket/k64" build);
+  check "distinct key" 200 (Engine.Instance_cache.find cache ~key:"bucket/k128" build);
+  check "builder called per key" 2 !builds
+
+(* Each domain builds its own instance: a pure builder therefore yields
+   identical trial results at any domain count, while the cache never
+   shares a value across domains. *)
+let test_instance_cache_per_domain () =
+  let cache = Engine.Instance_cache.create () in
+  let results =
+    Engine.Pool.map ~domains:3 ~trials:12 (fun i ->
+        i + Engine.Instance_cache.find cache ~key:"v" (fun () -> 1000))
+  in
+  Alcotest.(check (array int)) "pure builder, any domain" (Array.init 12 (fun i -> i + 1000)) results
+
 (* --- Seed streams ---------------------------------------------------- *)
 
 (* The engine derivation must match the historical soak seeding exactly:
@@ -63,6 +144,75 @@ let test_seed_stream_trials_independent () =
   let a = Prng.Rng.int64 (Engine.Seed_stream.trial_rng stream 1) in
   let b = Prng.Rng.int64 (Engine.Seed_stream.trial_rng stream 2) in
   check_bool "distinct streams" true (a <> b)
+
+(* The allocation-free fragment derivation must agree with the
+   historical sprintf formulation on every label shape the harnesses
+   use — slash-separated cell coordinates with embedded decimal
+   indices exercise Label.add_int's digit emission directly. *)
+let test_seed_stream_matches_legacy_label_shapes () =
+  List.iter
+    (fun (base, label) ->
+      let stream = Engine.Seed_stream.create ~base ~label in
+      List.iter
+        (fun i ->
+          let engine = Engine.Seed_stream.trial_rng stream i in
+          let legacy =
+            Prng.Rng.with_label (Prng.Rng.of_int base) (Printf.sprintf "%s/trial%d" label i)
+          in
+          Alcotest.(check int64)
+            (Printf.sprintf "%s trial %d" label i)
+            (Prng.Rng.int64 legacy) (Prng.Rng.int64 engine))
+        [ 1; 2; 9; 10; 11; 99; 100; 101; 12345; 1000000 ])
+    [
+      (2014, "conform/bucket/k256");
+      (2014, "sweep/tree-r2/k64");
+      (2014, "sweep/trivial/k24/flip-1e-3");
+      (0, "");
+      (42, "a");
+      (7, "bench/scaling/alloc");
+    ]
+
+(* 10^5 (label, trial-index) derivations, no collisions: the FNV-1a /
+   SplitMix64 pipeline must behave like a random function over the
+   coordinates the sweep actually uses (distinct labels x 10^4 trial
+   indices).  Collisions would silently correlate cells. *)
+let test_seed_stream_no_collisions_100k () =
+  let labels =
+    [|
+      "sweep/eq/k16"; "sweep/eq/k64"; "sweep/bucket/k16"; "sweep/bucket/k256";
+      "sweep/tree-r2/k64"; "sweep/one-round/k256"; "sweep/trivial/k24/flip-1e-3";
+      "sweep/bucket/k24/drop-2e-2"; "conform/eq/k16"; "soak/tree/clean";
+    |]
+  in
+  let per_label = 10_000 in
+  let seen = Hashtbl.create (2 * Array.length labels * per_label) in
+  Array.iter
+    (fun label ->
+      let stream = Engine.Seed_stream.create ~base:2014 ~label in
+      for i = 1 to per_label do
+        let draw = Prng.Rng.int64 (Engine.Seed_stream.trial_rng stream i) in
+        (match Hashtbl.find_opt seen draw with
+        | Some (l, j) ->
+            Alcotest.failf "collision: %s/trial%d = %s/trial%d (draw %Ld)" label i l j draw
+        | None -> ());
+        Hashtbl.replace seen draw (label, i)
+      done)
+    labels;
+  check "derivations" (Array.length labels * per_label) (Hashtbl.length seen)
+
+(* Derivation happens inside worker domains in production; the rng a
+   trial receives must not depend on which domain derived it. *)
+let test_seed_stream_stable_across_domains () =
+  let stream = Engine.Seed_stream.create ~base:2014 ~label:"sweep/bucket/k64" in
+  let draws domains =
+    Engine.Pool.map ~domains ~trials:200 (fun i ->
+        Prng.Rng.int64 (Engine.Seed_stream.trial_rng stream (i + 1)))
+  in
+  let reference = draws 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int64)) (Printf.sprintf "domains=%d" d) reference (draws d))
+    [ 2; 4 ]
 
 (* --- Merge algebra --------------------------------------------------- *)
 
@@ -188,11 +338,23 @@ let () =
           Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exceptions;
           Alcotest.test_case "run folds in order" `Quick test_pool_run_folds_in_order;
           Alcotest.test_case "rejects bad args" `Quick test_pool_rejects_bad_args;
+          Alcotest.test_case "fold matches sequential" `Quick test_pool_fold_matches_sequential;
+          Alcotest.test_case "fold sketch deterministic" `Quick test_pool_fold_sketch_deterministic;
+          Alcotest.test_case "fold propagates exceptions" `Quick test_pool_fold_propagates_exceptions;
+        ] );
+      ( "instance-cache",
+        [
+          Alcotest.test_case "memoizes per key" `Quick test_instance_cache_memoizes;
+          Alcotest.test_case "per-domain, pure builders" `Quick test_instance_cache_per_domain;
         ] );
       ( "seed-stream",
         [
           Alcotest.test_case "matches legacy soak" `Quick test_seed_stream_matches_legacy;
           Alcotest.test_case "trials independent" `Quick test_seed_stream_trials_independent;
+          Alcotest.test_case "matches legacy label shapes" `Quick
+            test_seed_stream_matches_legacy_label_shapes;
+          Alcotest.test_case "no collisions across 10^5" `Quick test_seed_stream_no_collisions_100k;
+          Alcotest.test_case "stable across domains" `Quick test_seed_stream_stable_across_domains;
         ] );
       ( "merge",
         [

@@ -145,6 +145,69 @@ let test_summary_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Summary.of_floats: empty") (fun () ->
       ignore (Stats.Summary.of_floats []))
 
+(* ---------- Binomial (Wilson bounds) ---------- *)
+
+let in_unit_interval (lo, hi) = 0.0 <= lo && lo <= hi && hi <= 1.0
+
+(* Zero failures: the lower bound must be exactly 0 (the sweep gates on
+   lower95 <= limit, so a spurious positive lower bound would fail
+   every clean cell) and the upper bound must shrink with n. *)
+let test_wilson_zero_failures () =
+  List.iter
+    (fun trials ->
+      let lo, hi = Stats.Binomial.wilson ~failures:0 ~trials ~z:1.96 in
+      check_bool (Printf.sprintf "n=%d in [0,1]" trials) true (in_unit_interval (lo, hi));
+      Alcotest.(check (float 0.0)) (Printf.sprintf "n=%d lower = 0" trials) 0.0 lo;
+      check_bool (Printf.sprintf "n=%d upper > 0" trials) true (hi > 0.0))
+    [ 1; 2; 120; 65_000; 1_000_000 ];
+  let _, hi_small = Stats.Binomial.wilson ~failures:0 ~trials:100 ~z:1.96 in
+  let _, hi_big = Stats.Binomial.wilson ~failures:0 ~trials:1_000_000 ~z:1.96 in
+  check_bool "upper shrinks with n" true (hi_big < hi_small)
+
+(* All failures: symmetric — upper pinned at 1, lower approaches 1. *)
+let test_wilson_all_failures () =
+  List.iter
+    (fun trials ->
+      let lo, hi = Stats.Binomial.wilson ~failures:trials ~trials ~z:1.96 in
+      check_bool (Printf.sprintf "n=%d in [0,1]" trials) true (in_unit_interval (lo, hi));
+      Alcotest.(check (float 0.0)) (Printf.sprintf "n=%d upper = 1" trials) 1.0 hi;
+      check_bool (Printf.sprintf "n=%d lower < 1" trials) true (lo < 1.0))
+    [ 1; 2; 120; 65_000 ];
+  let lo, _ = Stats.Binomial.wilson ~failures:1_000_000 ~trials:1_000_000 ~z:1.96 in
+  check_bool "lower -> 1 at huge n" true (lo > 0.999)
+
+(* n = 1: a single trial carries almost no evidence either way — both
+   intervals must stay wide and ordered. *)
+let test_wilson_single_trial () =
+  let lo0, hi0 = Stats.Binomial.wilson ~failures:0 ~trials:1 ~z:1.96 in
+  let lo1, hi1 = Stats.Binomial.wilson ~failures:1 ~trials:1 ~z:1.96 in
+  check_bool "0/1 ordered" true (in_unit_interval (lo0, hi0));
+  check_bool "1/1 ordered" true (in_unit_interval (lo1, hi1));
+  check_bool "0/1 inconclusive" true (hi0 > 0.5);
+  check_bool "1/1 inconclusive" true (lo1 < 0.5)
+
+(* Huge n: the interval must concentrate around the observed rate and
+   bracket it — the 10^6-trial regime the mega-sweep gates in. *)
+let test_wilson_huge_n () =
+  let trials = 1_000_000 in
+  let failures = 250 in
+  let rate = float_of_int failures /. float_of_int trials in
+  let lo, hi = Stats.Binomial.wilson ~failures ~trials ~z:1.96 in
+  check_bool "brackets rate" true (lo < rate && rate < hi);
+  check_bool "tight at 10^6" true (hi -. lo < 1e-4);
+  (* one failure in a million: lower bound ~0, upper a few-in-a-million *)
+  let lo1, hi1 = Stats.Binomial.wilson ~failures:1 ~trials ~z:1.96 in
+  check_bool "1/10^6 lower ~ 0" true (lo1 < 1e-6);
+  check_bool "1/10^6 upper small" true (hi1 < 1e-5)
+
+let test_wilson_rejects_bad_args () =
+  Alcotest.check_raises "trials=0" (Invalid_argument "Binomial.wilson: trials") (fun () ->
+      ignore (Stats.Binomial.wilson ~failures:0 ~trials:0 ~z:1.96));
+  Alcotest.check_raises "failures>n" (Invalid_argument "Binomial.wilson: failures") (fun () ->
+      ignore (Stats.Binomial.wilson ~failures:2 ~trials:1 ~z:1.96));
+  Alcotest.check_raises "z<=0" (Invalid_argument "Binomial.wilson: z") (fun () ->
+      ignore (Stats.Binomial.wilson ~failures:0 ~trials:1 ~z:0.0))
+
 (* ---------- Table ---------- *)
 
 let contains haystack needle =
@@ -197,6 +260,14 @@ let () =
           Alcotest.test_case "basic" `Quick test_summary_basic;
           Alcotest.test_case "single" `Quick test_summary_single;
           Alcotest.test_case "empty rejected" `Quick test_summary_empty_rejected;
+        ] );
+      ( "binomial",
+        [
+          Alcotest.test_case "wilson zero failures" `Quick test_wilson_zero_failures;
+          Alcotest.test_case "wilson all failures" `Quick test_wilson_all_failures;
+          Alcotest.test_case "wilson single trial" `Quick test_wilson_single_trial;
+          Alcotest.test_case "wilson huge n" `Quick test_wilson_huge_n;
+          Alcotest.test_case "wilson rejects bad args" `Quick test_wilson_rejects_bad_args;
         ] );
       ( "table",
         [

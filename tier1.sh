@@ -70,6 +70,21 @@ dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_a"
 dune exec bench/regress.exe -- --smoke --deterministic-json > "$det_b"
 cmp "$det_a" "$det_b"
 
+# Mega-sweep smoke: the committed BENCH_sweep.json must be schema-valid
+# (Wilson bounds ordered, per-cell gate conjunction, trial counts summing
+# to total_trials), a seconds-scale smoke matrix must pass its envelopes
+# live (sweep.exe exits non-zero on any violating cell), the report must
+# be byte-identical at 1 and 2 worker domains, and the bucket k=1024 hot
+# path must not allocate more per trial than the committed seed baseline.
+./_build/default/bin/json_check.exe --bench-sweep < BENCH_sweep.json
+sweep_d1=$(mktemp) && sweep_d2=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$chaos_a" "$chaos_b" "$det_a" "$det_b" "$sweep_d1" "$sweep_d2"' EXIT
+dune exec bench/sweep.exe -- --smoke --trials 60 --json --domains 1 > "$sweep_d1"
+dune exec bench/sweep.exe -- --smoke --trials 60 --json --domains 2 > "$sweep_d2"
+cmp "$sweep_d1" "$sweep_d2"
+./_build/default/bin/json_check.exe --bench-sweep < "$sweep_d1"
+dune exec bench/main.exe -- --alloc-gate
+
 # Fleet telemetry smoke: the committed BENCH_telemetry.json must be
 # schema-valid (including the 1.25x enabled/disabled overhead bound), a
 # live seconds-scale overhead run must keep its deterministic fields
