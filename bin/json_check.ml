@@ -27,6 +27,18 @@
    timings, deterministic fields equal between the passes, and an
    enabled/disabled overhead ratio within the 1.25 regression bound.
 
+   With [--lint-report], additionally validates the `intersect_lint
+   --json` schema: the tool marker, non-negative files/typed_modules
+   counters, and a findings list whose length matches "count" and whose
+   entries carry rule/file/line/col/message in the linter's conventions
+   (1-based lines, 0-based columns).
+
+   With [--lint-sarif], additionally validates the `intersect_lint
+   --sarif` export: SARIF 2.1.0 envelope, a single run naming the tool
+   driver and its rule catalogue, and error-level results whose ruleIds
+   resolve into that catalogue and whose regions use SARIF's 1-based
+   columns.
+
    The cursor lives inside [validate] (not at top level) so the module
    carries no ambient mutable state — intersect-lint rule R2 holds here
    like everywhere else. *)
@@ -427,6 +439,124 @@ let check_bench_sweep input =
                            match acc with Error _ -> acc | Ok () -> check_cell i cell)
                          (Ok ())))
 
+let check_lint_report input =
+  let module J = Stats.Json in
+  let fail msg = Error ("lint-report schema: " ^ msg) in
+  match J.of_string input with
+  | Error msg -> fail ("unparseable: " ^ msg)
+  | Ok doc -> (
+      if Option.bind (J.member "tool" doc) J.to_string_opt <> Some "intersect-lint" then
+        fail "missing \"tool\": \"intersect-lint\" marker"
+      else
+        let int_field name = Option.bind (J.member name doc) J.to_int_opt in
+        match (int_field "files", int_field "typed_modules", int_field "count") with
+        | None, _, _ -> fail "missing \"files\""
+        | _, None, _ -> fail "missing \"typed_modules\""
+        | _, _, None -> fail "missing \"count\""
+        | Some files, Some typed_modules, Some count -> (
+            if files < 1 then fail "files must be >= 1"
+            else if typed_modules < 0 then fail "negative typed_modules"
+            else
+              match Option.bind (J.member "findings" doc) J.to_list_opt with
+              | None -> fail "missing \"findings\" list"
+              | Some findings ->
+                  if List.length findings <> count then
+                    fail
+                      (Printf.sprintf "count %d does not match %d finding(s)" count
+                         (List.length findings))
+                  else
+                    let check_finding i f =
+                      let where msg = Printf.sprintf "finding %d: %s" i msg in
+                      let str name = Option.bind (J.member name f) J.to_string_opt in
+                      let int name = Option.bind (J.member name f) J.to_int_opt in
+                      match (str "rule", str "file", int "line", int "col", str "message") with
+                      | None, _, _, _, _ -> Error (where "missing \"rule\"")
+                      | _, None, _, _, _ -> Error (where "missing \"file\"")
+                      | _, _, None, _, _ -> Error (where "missing \"line\"")
+                      | _, _, _, None, _ -> Error (where "missing \"col\"")
+                      | _, _, _, _, None -> Error (where "missing \"message\"")
+                      | Some rule, Some file, Some line, Some col, Some message ->
+                          if rule = "" || file = "" || message = "" then
+                            Error (where "empty rule/file/message")
+                          else if line < 1 || col < 0 then
+                            Error (where "line must be >= 1 and col >= 0")
+                          else Ok ()
+                    in
+                    List.to_seq findings
+                    |> Seq.fold_lefti
+                         (fun acc i f -> match acc with Error _ -> acc | Ok () -> check_finding i f)
+                         (Ok ())))
+
+let check_lint_sarif input =
+  let module J = Stats.Json in
+  let fail msg = Error ("lint-sarif schema: " ^ msg) in
+  match J.of_string input with
+  | Error msg -> fail ("unparseable: " ^ msg)
+  | Ok doc -> (
+      if Option.bind (J.member "version" doc) J.to_string_opt <> Some "2.1.0" then
+        fail "missing \"version\": \"2.1.0\""
+      else if J.member "$schema" doc = None then fail "missing \"$schema\""
+      else
+        match Option.bind (J.member "runs" doc) J.to_list_opt with
+        | Some [ run ] -> (
+            let driver = Option.bind (J.member "tool" run) (J.member "driver") in
+            match Option.bind driver (fun d -> Option.bind (J.member "name" d) J.to_string_opt) with
+            | Some "intersect-lint" -> (
+                let rule_ids =
+                  Option.bind driver (fun d -> Option.bind (J.member "rules" d) J.to_list_opt)
+                  |> Option.value ~default:[]
+                  |> List.filter_map (fun r -> Option.bind (J.member "id" r) J.to_string_opt)
+                in
+                if rule_ids = [] then fail "empty driver rule catalogue"
+                else
+                  match Option.bind (J.member "results" run) J.to_list_opt with
+                  | None -> fail "missing \"results\" list"
+                  | Some results ->
+                      let check_result i r =
+                        let where msg = Printf.sprintf "result %d: %s" i msg in
+                        let location =
+                          match Option.bind (J.member "locations" r) J.to_list_opt with
+                          | Some [ l ] -> J.member "physicalLocation" l
+                          | _ -> None
+                        in
+                        let region = Option.bind location (J.member "region") in
+                        let region_int name =
+                          Option.bind region (fun rg -> Option.bind (J.member name rg) J.to_int_opt)
+                        in
+                        match Option.bind (J.member "ruleId" r) J.to_string_opt with
+                        | None -> Error (where "missing \"ruleId\"")
+                        | Some rule when not (List.mem rule rule_ids) ->
+                            Error (where (Printf.sprintf "ruleId %S not in the catalogue" rule))
+                        | Some _ ->
+                            if Option.bind (J.member "level" r) J.to_string_opt <> Some "error" then
+                              Error (where "level must be \"error\"")
+                            else if
+                              Option.bind (J.member "message" r) (fun m ->
+                                  Option.bind (J.member "text" m) J.to_string_opt)
+                              |> Option.fold ~none:true ~some:(( = ) "")
+                            then Error (where "missing message text")
+                            else if
+                              Option.bind location (fun pl ->
+                                  Option.bind (J.member "artifactLocation" pl) (fun al ->
+                                      Option.bind (J.member "uri" al) J.to_string_opt))
+                              |> Option.fold ~none:true ~some:(( = ) "")
+                            then Error (where "missing artifact uri")
+                            else if
+                              (* SARIF regions are fully 1-based. *)
+                              region_int "startLine" |> Option.fold ~none:true ~some:(fun v -> v < 1)
+                              || region_int "startColumn"
+                                 |> Option.fold ~none:true ~some:(fun v -> v < 1)
+                            then Error (where "region start must be 1-based")
+                            else Ok ()
+                      in
+                      List.to_seq results
+                      |> Seq.fold_lefti
+                           (fun acc i r ->
+                             match acc with Error _ -> acc | Ok () -> check_result i r)
+                           (Ok ()))
+            | _ -> fail "driver name is not \"intersect-lint\"")
+        | _ -> fail "\"runs\" must hold exactly one run")
+
 let () =
   let schema =
     match Sys.argv with
@@ -435,10 +565,12 @@ let () =
     | [| _; "--bench-chaos" |] -> Some check_bench_chaos
     | [| _; "--bench-telemetry" |] -> Some check_bench_telemetry
     | [| _; "--bench-sweep" |] -> Some check_bench_sweep
+    | [| _; "--lint-report" |] -> Some check_lint_report
+    | [| _; "--lint-sarif" |] -> Some check_lint_sarif
     | _ ->
         prerr_endline
           "usage: json_check [--bench-hotpath | --bench-chaos | --bench-telemetry | \
-           --bench-sweep] < input.json";
+           --bench-sweep | --lint-report | --lint-sarif] < input.json";
         exit 2
   in
   let input = In_channel.input_all In_channel.stdin in

@@ -17,10 +17,12 @@ let default_protocol () = Verified.protocol (Tree_protocol.protocol_log_star ())
 let exchange_sizes s t =
   Commsim.Two_party.run
     ~alice:(fun chan ->
-      Commsim.Transport.send chan (Wire.gamma_msg (Array.length s));
+      Obsv.Trace.span Obsv.Phases.app_similarity (fun () ->
+          Commsim.Transport.send chan (Wire.gamma_msg (Array.length s)));
       Wire.read_gamma_msg (Commsim.Transport.recv chan))
     ~bob:(fun chan ->
-      Commsim.Transport.send chan (Wire.gamma_msg (Array.length t));
+      Obsv.Trace.span Obsv.Phases.app_similarity (fun () ->
+          Commsim.Transport.send chan (Wire.gamma_msg (Array.length t)));
       Wire.read_gamma_msg (Commsim.Transport.recv chan))
 
 let run ?protocol rng ~universe s t =

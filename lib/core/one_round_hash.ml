@@ -13,10 +13,11 @@ let protocol ?(confidence = 4) () =
         let bits = tag_bits ~k ~confidence in
         let fn () = Strhash.create (Prng.Rng.with_label rng "one-round/fn") ~bits in
         let send_tags chan fn mine =
-          Commsim.Transport.send chan
-            (Bitio.Pool.payload (fun buf ->
-                 Bitio.Codes.write_gamma buf (Array.length mine);
-                 Basic_intersection.write_tags buf fn mine))
+          Obsv.Trace.span Obsv.Phases.orh_tags (fun () ->
+              Commsim.Transport.send chan
+                (Bitio.Pool.payload (fun buf ->
+                     Bitio.Codes.write_gamma buf (Array.length mine);
+                     Basic_intersection.write_tags buf fn mine)))
         in
         let receive_and_filter chan fn mine =
           let reader = Bitio.Bitreader.create (Commsim.Transport.recv chan) in

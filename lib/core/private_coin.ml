@@ -20,7 +20,8 @@ let protocol base =
               let seed = Prng.Rng.bits (Prng.Rng.with_label rng "private/draw") ~width:bits in
               let buf = Bitio.Bitbuf.create () in
               Bitio.Bitbuf.write_bits buf ~width:bits seed;
-              Commsim.Transport.send chan (Bitio.Bitbuf.contents buf);
+              Obsv.Trace.span Obsv.Phases.private_seed (fun () ->
+                  Commsim.Transport.send chan (Bitio.Bitbuf.contents buf));
               seed)
             ~bob:(fun chan ->
               Bitio.Bitreader.read_bits (Bitio.Bitreader.create (Commsim.Transport.recv chan)) ~width:bits)

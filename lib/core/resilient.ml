@@ -2,13 +2,15 @@ type party = Prng.Rng.t -> universe:int -> Iset.t -> Commsim.Transport.t -> Iset
 type base = { name : string; alice : party; bob : party }
 
 let trivial_alice _rng ~universe:_ mine chan =
-  Commsim.Transport.send chan (Wire.of_set mine);
+  Obsv.Trace.span Obsv.Phases.trivial_offer (fun () ->
+      Commsim.Transport.send chan (Wire.of_set mine));
   Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan))
 
 let trivial_bob _rng ~universe:_ mine chan =
   let received = Bitio.Set_codec.read_gaps (Bitio.Bitreader.create (Commsim.Transport.recv chan)) in
   let intersection = Iset.inter received mine in
-  Commsim.Transport.send chan (Wire.of_set intersection);
+  Obsv.Trace.span Obsv.Phases.trivial_reply (fun () ->
+      Commsim.Transport.send chan (Wire.of_set intersection));
   intersection
 
 let trivial_base = { name = "trivial"; alice = trivial_alice; bob = trivial_bob }

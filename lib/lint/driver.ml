@@ -56,11 +56,11 @@ let lint_source ?(registry = Obsv.Phases.mem) ~path source =
     | Ok structure -> Rules.check_structure ~registry ~file:path structure
     | Error f -> [ f ]
 
-type report = { files : int; findings : Finding.t list }
+type report = { files : int; typed_modules : int; findings : Finding.t list }
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
-let run ?(root = ".") () =
+let run ?(root = ".") ?(typed = true) () =
   if not (Sys.file_exists (Filename.concat root "lib")) then
     Error (Printf.sprintf "lint root %S has no lib/ directory (pass --root)" root)
   else
@@ -74,16 +74,27 @@ let run ?(root = ".") () =
     in
     match allow with
     | Error _ as e -> e
-    | Ok allow ->
+    | Ok allow -> (
         let files = list_files ~root in
         let per_file =
           List.concat_map
             (fun file -> lint_source ~path:file (read_file (Filename.concat root file)))
             files
         in
-        let findings =
-          per_file @ Rules.check_mli_coverage ~files
-          |> List.filter (fun (f : Finding.t) -> not (Allow.allows allow ~rule:f.rule ~file:f.file))
-          |> List.sort Finding.compare
+        (* The typed pass needs build artifacts; a missing build is a
+           cannot-run error (exit 2), not a clean report — a gate that
+           silently skips its strongest rules is worse than one that
+           fails loudly. *)
+        let typed_result =
+          if typed then Typed.run ~root ~files () else Ok (0, [])
         in
-        Ok { files = List.length files; findings }
+        match typed_result with
+        | Error e -> Error e
+        | Ok (typed_modules, typed_findings) ->
+            let findings =
+              per_file @ Rules.check_mli_coverage ~files @ typed_findings
+              |> List.filter (fun (f : Finding.t) ->
+                     not (Allow.allows allow ~rule:f.rule ~file:f.file))
+              |> List.sort Finding.compare
+            in
+            Ok { files = List.length files; typed_modules; findings })

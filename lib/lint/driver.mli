@@ -20,10 +20,15 @@ val lint_source : ?registry:(string -> bool) -> path:string -> string -> Finding
 
 type report = {
   files : int;  (** number of source files scanned *)
+  typed_modules : int;  (** modules the typed pass analysed; 0 when skipped *)
   findings : Finding.t list;  (** sorted, allowlist already applied *)
 }
 
-(** Lint the tree rooted at [root] (default ["."]). [Error] means the
-    linter could not run at all — missing root or a malformed
-    allowlist — as opposed to a clean run with findings. *)
-val run : ?root:string -> unit -> (report, string) result
+(** Lint the tree rooted at [root] (default ["."]).  [typed] (default
+    [true]) additionally runs the cmt-based semantic rules R7..R10 over
+    the build artifacts in [root/_build/default] (or [root] itself when
+    already inside a build tree).  [Error] means the linter could not
+    run at all — missing root, malformed allowlist, or typed pass
+    requested with no build artifacts — as opposed to a clean run with
+    findings. *)
+val run : ?root:string -> ?typed:bool -> unit -> (report, string) result

@@ -1,0 +1,67 @@
+(* R9: cross-domain escape analysis.
+
+   Two ways mutable state leaks across domain boundaries:
+
+   - module-global scope: a top-level binding whose *type* carries
+     mutable state (ref / array / bytes / Hashtbl / Buffer / a record
+     with mutable fields, through any chain of aliases) is reachable
+     from every domain at once.  The syntactic R2 only recognises a
+     fixed list of constructor applications ([ref e], [Hashtbl.create
+     n], ...); judging by type instead catches what it cannot see —
+     mutable-record literals like the pre-fix [Splitmix64] scratch
+     record, [Array.make] results, values returned by arbitrary
+     constructors.  Bindings R2 already flags are skipped here so one
+     offense carries one rule id.
+
+   - [Domain.spawn] closures: a free variable of mutable type captured
+     by the spawned thunk is shared writable state between the parent
+     and the child domain — exactly the shape of the PR-5 scratch-record
+     race.  [Atomic.t], [Domain.DLS.key] and the runtime's locks are
+     the sanctioned sharing vehicles and are not flagged. *)
+
+let offending_heads ~types heads =
+  heads
+  |> List.filter (fun h ->
+         Cmt_load.is_mutable_type types h && not (Cmt_load.is_cross_domain_safe types h))
+
+let check g ~types ~exempt_global ~exempt_capture =
+  let findings = ref [] in
+  List.iter
+    (fun (b : Cmt_load.binding) ->
+      (* (a) module-global mutable state, judged by type head. *)
+      if (not (exempt_global b.bfile)) && not b.r2_ctor then begin
+        match offending_heads ~types b.top_heads with
+        | [] -> ()
+        | h :: _ ->
+            findings :=
+              Finding.v ~rule:"R9" ~file:b.bfile ~line:b.bline ~col:b.bcol
+                (Printf.sprintf
+                   "%s has mutable type %s at module scope: every domain shares one instance \
+                    (the Splitmix64 scratch-record race); allocate per call or per domain"
+                   b.name
+                   (Cmt_load.resolve_alias types h))
+              :: !findings
+      end;
+      (* (b) mutable values captured by Domain.spawn closures. *)
+      if not (exempt_capture b.bfile) then begin
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (c : Cmt_load.capture) ->
+            if not (Hashtbl.mem seen c.Cmt_load.cvar) then
+              match offending_heads ~types c.cheads with
+              | [] -> ()
+              | h :: _ ->
+                  Hashtbl.replace seen c.cvar ();
+                  findings :=
+                    Finding.v ~rule:"R9" ~file:b.bfile ~line:c.kline ~col:c.kcol
+                      (Printf.sprintf
+                         "%s (%s) is captured by a Domain.spawn closure: parent and child \
+                          share writable state; hand the child its own copy, or an Atomic / \
+                          DLS slot"
+                         c.cvar
+                         (Cmt_load.resolve_alias types h))
+                    :: !findings)
+          b.captures
+      end)
+    (Callgraph.bindings g);
+  !findings

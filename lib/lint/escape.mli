@@ -1,0 +1,16 @@
+(** R9: cross-domain escape analysis.
+
+    Flags mutable values (judged by type: builtin mutable containers or
+    records with [mutable] fields, through aliases) that escape to
+    module-global scope, or that are captured as free variables by
+    [Domain.spawn] closures.  [Atomic.t], [Domain.DLS.key] and the
+    runtime locks are sanctioned sharing vehicles.  Bindings the
+    syntactic R2 already recognises are skipped so each offense carries
+    exactly one rule id. *)
+
+val check :
+  Callgraph.t ->
+  types:Cmt_load.types_info ->
+  exempt_global:(string -> bool) ->
+  exempt_capture:(string -> bool) ->
+  Finding.t list

@@ -27,12 +27,82 @@ let json f =
       ("message", Stats.Json.Str f.message);
     ]
 
-let report_json ~files findings =
+let report_json ~files ~typed_modules findings =
   let findings = List.sort compare findings in
   Stats.Json.Obj
     [
       ("tool", Stats.Json.Str "intersect-lint");
       ("files", Stats.Json.Int files);
+      ("typed_modules", Stats.Json.Int typed_modules);
       ("count", Stats.Json.Int (List.length findings));
       ("findings", Stats.Json.List (List.map json findings));
+    ]
+
+(* Minimal SARIF 2.1.0: one run, the rule catalogue as the driver's
+   rule metadata, one result per finding.  Columns are 1-based in
+   SARIF, 0-based in our findings. *)
+let sarif_result f =
+  Stats.Json.Obj
+    [
+      ("ruleId", Stats.Json.Str f.rule);
+      ("level", Stats.Json.Str "error");
+      ("message", Stats.Json.Obj [ ("text", Stats.Json.Str f.message) ]);
+      ( "locations",
+        Stats.Json.List
+          [
+            Stats.Json.Obj
+              [
+                ( "physicalLocation",
+                  Stats.Json.Obj
+                    [
+                      ( "artifactLocation",
+                        Stats.Json.Obj [ ("uri", Stats.Json.Str f.file) ] );
+                      ( "region",
+                        Stats.Json.Obj
+                          [
+                            ("startLine", Stats.Json.Int f.line);
+                            ("startColumn", Stats.Json.Int (f.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let sarif_json ~rules ~files ~typed_modules findings =
+  let findings = List.sort compare findings in
+  let rule_meta (id, descr) =
+    Stats.Json.Obj
+      [
+        ("id", Stats.Json.Str id);
+        ("shortDescription", Stats.Json.Obj [ ("text", Stats.Json.Str descr) ]);
+      ]
+  in
+  Stats.Json.Obj
+    [
+      ("version", Stats.Json.Str "2.1.0");
+      ("$schema", Stats.Json.Str "https://json.schemastore.org/sarif-2.1.0.json");
+      ( "runs",
+        Stats.Json.List
+          [
+            Stats.Json.Obj
+              [
+                ( "tool",
+                  Stats.Json.Obj
+                    [
+                      ( "driver",
+                        Stats.Json.Obj
+                          [
+                            ("name", Stats.Json.Str "intersect-lint");
+                            ("rules", Stats.Json.List (List.map rule_meta rules));
+                          ] );
+                    ] );
+                ( "properties",
+                  Stats.Json.Obj
+                    [
+                      ("files", Stats.Json.Int files);
+                      ("typed_modules", Stats.Json.Int typed_modules);
+                    ] );
+                ("results", Stats.Json.List (List.map sarif_result findings));
+              ];
+          ] );
     ]

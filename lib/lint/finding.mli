@@ -21,6 +21,13 @@ val to_line : t -> string
 
 val json : t -> Stats.Json.t
 
-(** The full machine-readable report: tool name, file count, finding
+(** The full machine-readable report: tool name, file count, number of
+    modules the typed pass loaded (0 when it was skipped), finding
     count, findings in {!compare} order. *)
-val report_json : files:int -> t list -> Stats.Json.t
+val report_json : files:int -> typed_modules:int -> t list -> Stats.Json.t
+
+(** SARIF 2.1.0 export of the same report: one run, [rules] (the
+    catalogue) as driver rule metadata, one [error]-level result per
+    finding, columns converted to SARIF's 1-based convention.  Sorted
+    like {!report_json}, so it is equally byte-stable. *)
+val sarif_json : rules:(string * string) list -> files:int -> typed_modules:int -> t list -> Stats.Json.t

@@ -9,9 +9,87 @@ let catalogue =
     ("R4", "domain hygiene: Domain.spawn/Domain.DLS only in lib/engine and lib/obsv");
     ("R5", "interface coverage: every lib/**.ml has a matching .mli");
     ("R6", "flight recorder: Obsv.Recorder.event written only from lib/session and lib/obsv");
+    ("R7", "determinism taint (typed): nothing reachable from party code reads ambient state");
+    ("R8", "metered transport (typed): every Transport send/recv runs under a Trace.span");
+    ("R9", "cross-domain escape (typed): no module-global or spawn-captured mutable values");
+    ("R10", "phase registry, reverse (typed): no dead Obsv.Phases constants");
   ]
 
 let rule_ids = List.map fst catalogue
+
+(* The long-form story behind each rule, for `intersect_lint --explain`.
+   The one-liners above say what fires; these say why the invariant
+   exists and what the sanctioned alternative is. *)
+let explain id =
+  match id with
+  | "syntax" ->
+      Some
+        "Every scanned .ml/.mli must parse with the project's own compiler front end. A file \
+         the linter cannot read is a file no rule protects."
+  | "R1" ->
+      Some
+        "Syntactic determinism: direct references to ambient Random, wall clocks \
+         (Unix.gettimeofday, Sys.time) or unseeded runtime hashing are flagged at the use \
+         site. Trial results must be a pure function of the seed so conformance gates and \
+         byte-identical replay hold; randomness is threaded as Prng.Rng values from \
+         lib/prng, time comes from the trace's event clock."
+  | "R2" ->
+      Some
+        "Syntactic ambient state: top-level `ref`, Atomic.make, Hashtbl/Queue/Stack/Buffer \
+         .create outside lib/obsv are flagged. Module-global mutable state is shared by \
+         every domain and every trial; state is passed explicitly or kept behind Obsv's \
+         domain-local wrappers. (R9 is the typed generalisation by type, not constructor.)"
+  | "R3" ->
+      Some
+        "Phase registry, forward direction: a string literal passed to Trace.span must be a \
+         registered Obsv.Phases constant, so profile bits cannot land in a typo'd bucket. \
+         R10 checks the reverse direction."
+  | "R4" ->
+      Some
+        "Domain hygiene: Domain.spawn and Domain.DLS appear only in lib/engine (the pool) \
+         and lib/obsv (ambient collectors). Everything else receives parallelism through \
+         Engine.Pool so determinism contracts (byte-identical at any domain count) are \
+         enforced in one place."
+  | "R5" ->
+      Some
+        "Interface coverage: every lib/**.ml has a matching .mli. Abstraction boundaries \
+         keep refactors safe at scale and make the public surface reviewable."
+  | "R6" ->
+      Some
+        "Flight recorder: Obsv.Recorder.event is written only from lib/session and lib/obsv \
+         so a post-mortem is a trustworthy account of what the session machine did, not a \
+         mix of narrators. Reading (create/events/post_mortem_json) is open to everyone."
+  | "R7" ->
+      Some
+        "Typed determinism taint: the call graph over all .cmt files is walked forward from \
+         every binding in party code (lib/core, lib/multiparty, lib/apps, lib/session). Any \
+         reachable binding that references Random.*, a wall clock, or unseeded hashing is \
+         flagged with the offending call chain — closing the helper-wraps-Random hole \
+         syntactic R1 cannot see. Paths into lib/prng and the engine's seed stream are the \
+         sanctioned route and stop the walk."
+  | "R8" ->
+      Some
+        "Typed metered-transport accounting: every Commsim.Transport send/recv site (direct \
+         call or send/recv field projection from the transport record, through aliases) in \
+         protocol code must be dominated by a span-opening binding on every in-scope caller \
+         path. Otherwise some bits cross the wire while no phase is open and per-phase \
+         ledgers stop summing to Cost.total_bits. The finding carries an unattributed entry \
+         path as the witness."
+  | "R9" ->
+      Some
+        "Typed cross-domain escape: a value whose type carries mutable state (ref, array, \
+         bytes, Hashtbl/Buffer/Queue/Stack, or any record with a mutable field, resolved \
+         through type aliases) may not sit at module scope or be captured by a Domain.spawn \
+         closure. This is the rule that catches the PR-5 Splitmix64 shared-scratch record — \
+         a mutable-record literal R2's constructor list is blind to. Atomic.t, \
+         Domain.DLS.key and the runtime locks are sanctioned; lib/engine's pool and \
+         lib/obsv's collectors are the structural homes."
+  | "R10" ->
+      Some
+        "Phase registry, reverse direction: an Obsv.Phases constant that no span call site \
+         uses and nothing outside the registry references is a dead phase — a ledger bucket \
+         the profiler promises but no bits can ever land in. Drop it or span it."
+  | _ -> None
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix

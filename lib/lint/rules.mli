@@ -28,14 +28,25 @@
       [post_mortem_json]/[events].
 
     Structural exemptions above are part of the rule; anything else
-    belongs in the allowlist ({!Allow}). *)
+    belongs in the allowlist ({!Allow}).
+
+    The typed rule families R7..R10 (determinism taint, metered
+    transport, cross-domain escape, dead phases) are implemented over
+    the cmt-based IR in {!Typed}/{!Taint}/{!Escape}; their catalogue
+    entries and explanations live here so the id set, the allowlist
+    validation, and [--rules]/[--explain] output stay in one place. *)
 
 (** Rule ids with one-line descriptions, in report order ([syntax]
-    first, then R1..R6).  This is also the id set allowlists are
+    first, then R1..R10).  This is also the id set allowlists are
     validated against. *)
 val catalogue : (string * string) list
 
 val rule_ids : string list
+
+(** Long-form rationale for one rule id (for [--explain]): why the
+    invariant exists and what the sanctioned alternative is.  [None] for
+    unknown ids. *)
+val explain : string -> string option
 
 (** Check one parsed implementation.  [registry] decides R3 membership
     (the production linter passes [Obsv.Phases.mem]).  [file] is the

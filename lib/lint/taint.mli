@@ -1,0 +1,40 @@
+(** Dataflow taint rules over the call graph: R7 (determinism) and R8
+    (metered-transport accounting). *)
+
+(** The default R7 sink set: ambient-nondeterminism primitives in
+    canonical spelling ([Stdlib.Random.*], wall clocks, runtime
+    polymorphic hashing) — the typed mirror of syntactic R1's list. *)
+val default_sinks : string -> bool
+
+(** [determinism g ~is_party ~is_sanctioned ~sinks] — R7.  BFS forward
+    from every binding whose file satisfies [is_party]; any reached
+    binding outside party files whose body references a sink is
+    reported, with the lexicographically-least shortest call chain from
+    a party root in the message.  Nodes in [is_sanctioned] files (the
+    PRNG homes) stop the walk: reaching randomness through the seeded
+    interfaces is the sanctioned route. *)
+val determinism :
+  Callgraph.t ->
+  is_party:(string -> bool) ->
+  is_sanctioned:(string -> bool) ->
+  sinks:(string -> bool) ->
+  Finding.t list
+
+(** [metering g ~types ~in_scope ...] — R8.  A transport op site is a
+    call to one of [transport_fns] or a [transport_labels] field
+    projection from a record type resolving (through aliases) into
+    [transport_types].  For every such site in an [in_scope] file, walk
+    callers backwards, never through a binding that opens a span
+    ([span_fns]) and never outside scope: if a node with no in-scope
+    callers is reachable, there is an execution path on which the bits
+    cross the wire with no phase open, and the site is reported with
+    that path. *)
+val metering :
+  Callgraph.t ->
+  types:Cmt_load.types_info ->
+  in_scope:(string -> bool) ->
+  transport_fns:string list ->
+  transport_types:string list ->
+  transport_labels:string list ->
+  span_fns:string list ->
+  Finding.t list

@@ -3,14 +3,22 @@
    are not in [all], so a phase name cannot drift from the registry. *)
 
 let unattributed = "(unattributed)"
+let app_join = "app/join"
+let app_similarity = "app/similarity"
+let app_sketch = "app/sketch"
+let app_sync = "app/sync"
+let app_union = "app/union"
 let bi_sizes = "bi/sizes"
 let bi_tags = "bi/tags"
 let bucket_assign = "bucket/assign"
 let bucket_eq = "bucket/eq"
+let disj_round = "disj/round"
 let eq_exact = "eq/exact"
 let eq_joint = "eq/joint"
 let eq_tags = "eq/tags"
 let multiparty_broadcast = "multiparty/broadcast"
+let orh_tags = "orh/tags"
+let private_seed = "private/seed"
 let resilient_attempt = "resilient/attempt"
 let resilient_fallback = "resilient/fallback"
 let resilient_verify = "resilient/verify"
@@ -36,14 +44,22 @@ let verified_check = "verified/check"
 let all =
   [
     unattributed;
+    app_join;
+    app_similarity;
+    app_sketch;
+    app_sync;
+    app_union;
     bi_sizes;
     bi_tags;
     bucket_assign;
     bucket_eq;
+    disj_round;
     eq_exact;
     eq_joint;
     eq_tags;
     multiparty_broadcast;
+    orh_tags;
+    private_seed;
     resilient_attempt;
     resilient_fallback;
     resilient_verify;

@@ -12,6 +12,14 @@
 (** Bucket used by {!Export} for messages sent outside any span. *)
 val unattributed : string
 
+(** {2 Application-layer exchanges (lib/apps)} *)
+
+val app_join : string
+val app_similarity : string
+val app_sketch : string
+val app_sync : string
+val app_union : string
+
 (** {2 Basic_intersection (Lemma 3.3)} *)
 
 val bi_sizes : string
@@ -22,11 +30,20 @@ val bi_tags : string
 val bucket_assign : string
 val bucket_eq : string
 
+(** {2 Disjointness (Håstad–Wigderson)} *)
+
+val disj_round : string
+
 (** {2 Eq_batch (Fact 3.5 / batched equality)} *)
 
 val eq_exact : string
 val eq_joint : string
 val eq_tags : string
+
+(** {2 One_round_hash / Private_coin} *)
+
+val orh_tags : string
+val private_seed : string
 
 (** {2 Multiparty} *)
 

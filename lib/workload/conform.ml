@@ -84,9 +84,11 @@ let eq_trial ~cache:_ rng ~universe ~k =
   let (va, vb), cost =
     Commsim.Two_party.run
       ~alice:(fun chan ->
-        Equality.run_alice_set (Prng.Rng.with_label rng "eq") ~bits:k chan pair.Setgen.s)
+        Obsv.Trace.span Obsv.Phases.eq_tags (fun () ->
+            Equality.run_alice_set (Prng.Rng.with_label rng "eq") ~bits:k chan pair.Setgen.s))
       ~bob:(fun chan ->
-        Equality.run_bob_set (Prng.Rng.with_label rng "eq") ~bits:k chan pair.Setgen.t)
+        Obsv.Trace.span Obsv.Phases.eq_tags (fun () ->
+            Equality.run_bob_set (Prng.Rng.with_label rng "eq") ~bits:k chan pair.Setgen.t))
   in
   let truth = Iset.equal pair.Setgen.s pair.Setgen.t in
   {

@@ -172,9 +172,15 @@ let test_allow_parse_and_match () =
 
 let test_allow_rejects_unknown_rule () =
   check_bool "unknown rule id fails parse" true
-    (match Lint.Allow.parse ~known:Lint.Rules.rule_ids "R9 lib/\n" with
+    (match Lint.Allow.parse ~known:Lint.Rules.rule_ids "R99 lib/\n" with
     | Error _ -> true
     | Ok _ -> false)
+
+let test_allow_knows_typed_rules () =
+  (* R7..R10 are valid allowlist targets now that the typed pass exists. *)
+  match Lint.Allow.parse ~known:Lint.Rules.rule_ids "R7 lib/\nR8 lib/\nR9 lib/\nR10 lib/\n" with
+  | Error e -> Alcotest.fail e
+  | Ok entries -> check "four typed-rule entries" 4 (List.length entries)
 
 (* --- golden JSON ------------------------------------------------------ *)
 
@@ -184,10 +190,301 @@ let test_golden_json_report () =
       "let now () = Unix.gettimeofday ()\nlet count = ref 0\n"
   in
   let golden =
-    {|{"tool":"intersect-lint","files":1,"count":2,"findings":[{"rule":"R1","file":"lib/core/fixture.ml","line":1,"col":13,"message":"Unix.gettimeofday: wall-clock reads are nondeterministic; use the trace's event clock, or allowlist bench-only timing"},{"rule":"R2","file":"lib/core/fixture.ml","line":2,"col":0,"message":"top-level ref is ambient mutable state; keep it behind Obsv's Domain-local wrappers or pass it explicitly"}]}|}
+    {|{"tool":"intersect-lint","files":1,"typed_modules":0,"count":2,"findings":[{"rule":"R1","file":"lib/core/fixture.ml","line":1,"col":13,"message":"Unix.gettimeofday: wall-clock reads are nondeterministic; use the trace's event clock, or allowlist bench-only timing"},{"rule":"R2","file":"lib/core/fixture.ml","line":2,"col":0,"message":"top-level ref is ambient mutable state; keep it behind Obsv's Domain-local wrappers or pass it explicitly"}]}|}
   in
   check_str "golden report" golden
-    (Stats.Json.to_string (Lint.Finding.report_json ~files:1 findings))
+    (Stats.Json.to_string (Lint.Finding.report_json ~files:1 ~typed_modules:0 findings))
+
+let test_golden_sarif_report () =
+  let findings =
+    [
+      Lint.Finding.v ~rule:"R7" ~file:"lib/workload/launder.ml" ~line:1 ~col:14
+        "sink reachable from party code";
+    ]
+  in
+  let golden =
+    {|{"version":"2.1.0","$schema":"https://json.schemastore.org/sarif-2.1.0.json","runs":[{"tool":{"driver":{"name":"intersect-lint","rules":[{"id":"R7","shortDescription":{"text":"determinism taint"}}]}},"properties":{"files":2,"typed_modules":2},"results":[{"ruleId":"R7","level":"error","message":{"text":"sink reachable from party code"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"lib/workload/launder.ml"},"region":{"startLine":1,"startColumn":15}}}]}]}]}|}
+  in
+  check_str "golden sarif" golden
+    (Stats.Json.to_string
+       (Lint.Finding.sarif_json
+          ~rules:[ ("R7", "determinism taint") ]
+          ~files:2 ~typed_modules:2 findings))
+
+(* --- typed pass: R7..R10 over in-process fixtures --------------------- *)
+
+(* Fixture units are typed against the stdlib in order (each unit's
+   signature visible to the later ones), then pushed through the same
+   Typed.analyze the repo gate runs — only the scope config differs,
+   because fixture modules are not called Commsim or Obsv. *)
+let analyze_units ?config units =
+  let types = Lint.Cmt_load.create_types () in
+  match Lint.Cmt_load.of_sources ~types units with
+  | Error e -> Alcotest.fail e
+  | Ok modus -> Lint.Typed.analyze ?config ~types modus
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let find_rule rule findings =
+  match List.filter (fun (f : Lint.Finding.t) -> f.rule = rule) findings with
+  | [ f ] -> f
+  | l -> Alcotest.failf "expected exactly one %s finding, got %d" rule (List.length l)
+
+(* R7: a helper module outside the party layer laundering ambient
+   randomness is caught the moment party code can reach it, with the
+   call chain in the message. *)
+
+let test_r7_flags_laundered_randomness () =
+  let findings =
+    analyze_units
+      [
+        ("Launder", "lib/workload/launder.ml", "let fresh n = Stdlib.Random.int n\n");
+        ("Party", "lib/core/party.ml", "let run () = Launder.fresh 10\n");
+      ]
+  in
+  let f = find_rule "R7" findings in
+  check_str "sink is in the helper file" "lib/workload/launder.ml" f.Lint.Finding.file;
+  check_bool "chain names the party entry" true
+    (contains ~sub:"Party.run -> Launder.fresh" f.Lint.Finding.message);
+  check "nothing else fires" 1 (List.length findings)
+
+let test_r7_transitive_chain () =
+  (* Two hops: party -> util -> launder still resolves, and the reported
+     chain is the shortest path. *)
+  let findings =
+    analyze_units
+      [
+        ("Launder", "lib/workload/launder.ml", "let fresh n = Stdlib.Random.int n\n");
+        ("Util", "lib/workload/util.ml", "let pick n = Launder.fresh n\n");
+        ("Party", "lib/core/party.ml", "let run () = Util.pick 10\n");
+      ]
+  in
+  (* Only the binding that touches the sink is reported; the clean
+     intermediary is just a hop in its chain. *)
+  let launder = find_rule "R7" findings in
+  check_str "reported at the sink" "lib/workload/launder.ml" launder.Lint.Finding.file;
+  check_bool "full chain reported" true
+    (contains ~sub:"Party.run -> Util.pick -> Launder.fresh" launder.Lint.Finding.message)
+
+let test_r7_sanctioned_prng_passes () =
+  (* The same laundering helper under lib/prng is the sanctioned route. *)
+  check "lib/prng is the stop set" 0
+    (List.length
+       (analyze_units
+          [
+            ("Seeds", "lib/prng/seeds.ml", "let fresh n = Stdlib.Random.int n\n");
+            ("Party", "lib/core/party.ml", "let run () = Seeds.fresh 10\n");
+          ]))
+
+let test_r7_leaves_direct_use_to_r1 () =
+  (* A sink used directly in a party file is syntactic R1's report, not a
+     second R7 one. *)
+  check "no double report" 0
+    (List.length
+       (analyze_units [ ("Party", "lib/core/party.ml", "let run () = Stdlib.Random.int 3\n") ]))
+
+let test_r7_unreachable_helper_passes () =
+  check "unreachable helper is not tainted" 0
+    (List.length
+       (analyze_units
+          [
+            ("Launder", "lib/workload/launder.ml", "let fresh n = Stdlib.Random.int n\n");
+            ("Party", "lib/core/party.ml", "let run () = 10\n");
+          ]))
+
+(* R8: transport ops must sit under a span-opening binding on every
+   in-scope path. Fixture transport/span modules stand in for
+   Commsim.Transport and Obsv.Trace via the config. *)
+
+let typed_cfg =
+  {
+    Lint.Typed.default_config with
+    Lint.Typed.span_fns = [ "Obs.span" ];
+    transport_fns = [ "Net.send"; "Net.recv" ];
+    transport_types = [ "Net.t" ];
+  }
+
+let obs_unit = ("Obs", "lib/obsv/obs.ml", "let span name f = ignore name; f ()\n")
+
+let net_unit =
+  ( "Net",
+    "lib/commsim/net.ml",
+    "type t = { send : string -> unit; recv : unit -> string }\n\
+     let send t x = t.send x\n\
+     let recv t = t.recv ()\n" )
+
+let test_r8_flags_unattributed_send () =
+  let findings =
+    analyze_units ~config:typed_cfg
+      [
+        obs_unit;
+        net_unit;
+        ("Proto", "lib/session/proto.ml", "let push ch = Net.send ch \"x\"\n");
+      ]
+  in
+  let f = find_rule "R8" findings in
+  check_str "at the op site" "lib/session/proto.ml" f.Lint.Finding.file;
+  check_bool "names the entry path" true (contains ~sub:"Proto.push" f.Lint.Finding.message)
+
+let test_r8_flags_field_projection () =
+  (* chan.send through the record type counts as a transport op even
+     with no call to the Net functions. *)
+  let findings =
+    analyze_units ~config:typed_cfg
+      [
+        obs_unit;
+        net_unit;
+        ("Proto", "lib/session/proto.ml", "let push (c : Net.t) = c.send \"y\"\n");
+      ]
+  in
+  check "field-projection op caught" 1 (count_rule "R8" findings)
+
+let test_r8_span_in_binding_passes () =
+  check "spanned send passes" 0
+    (List.length
+       (analyze_units ~config:typed_cfg
+          [
+            obs_unit;
+            net_unit;
+            ( "Proto",
+              "lib/session/proto.ml",
+              "let push ch = Obs.span \"p\" (fun () -> Net.send ch \"x\")\n" );
+          ]))
+
+let test_r8_span_in_caller_passes () =
+  (* The op binding itself opens no span, but its only in-scope caller
+     does: every path is attributed, so nothing fires. *)
+  check "caller-attributed send passes" 0
+    (List.length
+       (analyze_units ~config:typed_cfg
+          [
+            obs_unit;
+            net_unit;
+            ( "Proto",
+              "lib/session/proto.ml",
+              "let raw ch = Net.send ch \"x\"\n\
+               let push ch = Obs.span \"p\" (fun () -> raw ch)\n" );
+          ]))
+
+let test_r8_exempt_plumbing_passes () =
+  (* lib/commsim itself (Net's home) is outside the metering scope. *)
+  check "transport plumbing exempt" 0
+    (List.length (analyze_units ~config:typed_cfg [ obs_unit; net_unit ]))
+
+(* R9: mutable state at module scope or captured by Domain.spawn. The
+   first fixture reconstructs the Splitmix64 shared-scratch race: a
+   module-global mutable record every domain would write concurrently —
+   invisible to syntactic R2 (no recognised constructor), caught by
+   type. *)
+
+let r9_splitmix =
+  {|
+type t = { mutable hi : int; mutable lo : int }
+let scratch = { hi = 0x9e3779b9; lo = 0 }
+let mix z =
+  scratch.hi <- scratch.hi + z;
+  scratch.hi lxor scratch.lo
+|}
+
+let test_r9_flags_splitmix_scratch_record () =
+  let findings = analyze_units [ ("Splitmix", "lib/prng/splitmix.ml", r9_splitmix) ] in
+  let f = find_rule "R9" findings in
+  check_str "at the global binding" "lib/prng/splitmix.ml" f.Lint.Finding.file;
+  check_bool "names the scratch record" true
+    (contains ~sub:"Splitmix.scratch" f.Lint.Finding.message);
+  (* ...and syntactic R2 really cannot see it: a record literal is not
+     one of its recognised state constructors. *)
+  check "R2 misses the same source" 0
+    (count_rule "R2" (lint ~path:"lib/prng/splitmix.ml" r9_splitmix))
+
+let test_r9_per_call_allocation_passes () =
+  let fixed =
+    "type t = { mutable hi : int; mutable lo : int }\n\
+     let mix z =\n\
+    \  let s = { hi = z; lo = 1 } in\n\
+    \  s.hi <- s.hi + 1;\n\
+    \  s.hi lxor s.lo\n"
+  in
+  check "per-call scratch passes" 0
+    (List.length (analyze_units [ ("Splitmix", "lib/prng/splitmix.ml", fixed) ]))
+
+let r9_spawn_race =
+  "let race () =\n\
+  \  let results = Array.make 4 0 in\n\
+  \  let d = Stdlib.Domain.spawn (fun () -> results.(0) <- 1) in\n\
+  \  Stdlib.Domain.join d;\n\
+  \  results.(0)\n"
+
+let test_r9_flags_spawn_capture () =
+  let findings = analyze_units [ ("Par", "lib/workload/par.ml", r9_spawn_race) ] in
+  let f = find_rule "R9" findings in
+  check_bool "names the captured array" true (contains ~sub:"results" f.Lint.Finding.message)
+
+let test_r9_atomic_capture_passes () =
+  let src =
+    "let count () =\n\
+    \  let c = Stdlib.Atomic.make 0 in\n\
+    \  let d = Stdlib.Domain.spawn (fun () -> Stdlib.Atomic.incr c) in\n\
+    \  Stdlib.Domain.join d;\n\
+    \  Stdlib.Atomic.get c\n"
+  in
+  check "Atomic is the sanctioned vehicle" 0
+    (List.length (analyze_units [ ("Par", "lib/workload/par.ml", src) ]))
+
+let test_r9_engine_capture_exempt () =
+  check "lib/engine owns its pools" 0
+    (List.length (analyze_units [ ("Pool", "lib/engine/pool_fx.ml", r9_spawn_race) ]))
+
+(* R10: registry constants nothing spans or references. *)
+
+let r10_cfg = { typed_cfg with Lint.Typed.registry_module = "Phases" }
+
+let r10_registry =
+  ( "Phases",
+    "lib/obsv/phases_fx.ml",
+    "let alive = \"p/alive\"\n\
+     let spanned = \"p/spanned\"\n\
+     let dead = \"p/dead\"\n\
+     let all = [ alive; spanned; dead ]\n" )
+
+let test_r10_flags_dead_phase () =
+  let findings =
+    analyze_units ~config:r10_cfg
+      [
+        r10_registry;
+        obs_unit;
+        ( "Use",
+          "lib/core/use.ml",
+          "let f () = Obs.span Phases.alive (fun () -> ())\n\
+           let g () = Obs.span \"p/spanned\" (fun () -> ())\n" );
+      ]
+  in
+  let f = find_rule "R10" findings in
+  check_str "at the registry entry" "lib/obsv/phases_fx.ml" f.Lint.Finding.file;
+  check_bool "names the dead phase" true (contains ~sub:"p/dead" f.Lint.Finding.message);
+  check "alive and spanned survive" 1 (List.length findings)
+
+let test_r10_registry_internal_refs_do_not_count () =
+  (* The registry's own [all] list references every constant; with no
+     outside user, all three are dead. *)
+  let findings = analyze_units ~config:r10_cfg [ r10_registry; obs_unit ] in
+  check "all three dead" 3 (count_rule "R10" findings)
+
+let test_typed_analyze_deterministic () =
+  let run () =
+    analyze_units
+      [
+        ("Launder", "lib/workload/launder.ml", "let fresh n = Stdlib.Random.int n\n");
+        ("Party", "lib/core/party.ml", "let run () = Launder.fresh 10\n");
+        ("Splitmix", "lib/prng/splitmix.ml", r9_splitmix);
+      ]
+    |> List.map Lint.Finding.to_line
+    |> String.concat "\n"
+  in
+  check_str "byte-identical fixture analyses" (run ()) (run ())
 
 (* --- the repository itself ------------------------------------------- *)
 
@@ -198,8 +495,9 @@ let repo_root = ".."
 let test_repo_lints_clean () =
   match Lint.Driver.run ~root:repo_root () with
   | Error e -> Alcotest.fail e
-  | Ok { Lint.Driver.files; findings } ->
+  | Ok { Lint.Driver.files; typed_modules; findings } ->
       check_bool "scanned a real tree" true (files > 100);
+      check_bool "typed pass loaded the tree" true (typed_modules > 80);
       check_str "no findings"
         ""
         (String.concat "\n" (List.map Lint.Finding.to_line findings))
@@ -208,8 +506,8 @@ let test_repo_report_deterministic () =
   let render () =
     match Lint.Driver.run ~root:repo_root () with
     | Error e -> Alcotest.fail e
-    | Ok { Lint.Driver.files; findings } ->
-        Stats.Json.to_string (Lint.Finding.report_json ~files findings)
+    | Ok { Lint.Driver.files; typed_modules; findings } ->
+        Stats.Json.to_string (Lint.Finding.report_json ~files ~typed_modules findings)
   in
   check_str "byte-identical consecutive runs" (render ()) (render ())
 
@@ -264,10 +562,45 @@ let () =
         [
           Alcotest.test_case "parse and match" `Quick test_allow_parse_and_match;
           Alcotest.test_case "unknown rule rejected" `Quick test_allow_rejects_unknown_rule;
+          Alcotest.test_case "typed rules known" `Quick test_allow_knows_typed_rules;
+        ] );
+      ( "R7 determinism taint",
+        [
+          Alcotest.test_case "laundered randomness" `Quick test_r7_flags_laundered_randomness;
+          Alcotest.test_case "transitive chain" `Quick test_r7_transitive_chain;
+          Alcotest.test_case "sanctioned in lib/prng" `Quick test_r7_sanctioned_prng_passes;
+          Alcotest.test_case "direct use is R1's" `Quick test_r7_leaves_direct_use_to_r1;
+          Alcotest.test_case "unreachable helper" `Quick test_r7_unreachable_helper_passes;
+        ] );
+      ( "R8 metered transport",
+        [
+          Alcotest.test_case "unattributed send" `Quick test_r8_flags_unattributed_send;
+          Alcotest.test_case "field projection" `Quick test_r8_flags_field_projection;
+          Alcotest.test_case "span in binding" `Quick test_r8_span_in_binding_passes;
+          Alcotest.test_case "span in caller" `Quick test_r8_span_in_caller_passes;
+          Alcotest.test_case "plumbing exempt" `Quick test_r8_exempt_plumbing_passes;
+        ] );
+      ( "R9 cross-domain escape",
+        [
+          Alcotest.test_case "Splitmix scratch record" `Quick
+            test_r9_flags_splitmix_scratch_record;
+          Alcotest.test_case "per-call allocation" `Quick test_r9_per_call_allocation_passes;
+          Alcotest.test_case "spawn capture" `Quick test_r9_flags_spawn_capture;
+          Alcotest.test_case "Atomic capture" `Quick test_r9_atomic_capture_passes;
+          Alcotest.test_case "engine exempt" `Quick test_r9_engine_capture_exempt;
+        ] );
+      ( "R10 dead phases",
+        [
+          Alcotest.test_case "dead phase" `Quick test_r10_flags_dead_phase;
+          Alcotest.test_case "internal refs don't count" `Quick
+            test_r10_registry_internal_refs_do_not_count;
         ] );
       ( "report",
         [
           Alcotest.test_case "golden json" `Quick test_golden_json_report;
+          Alcotest.test_case "golden sarif" `Quick test_golden_sarif_report;
+          Alcotest.test_case "typed analysis deterministic" `Quick
+            test_typed_analyze_deterministic;
           Alcotest.test_case "repo lints clean" `Quick test_repo_lints_clean;
           Alcotest.test_case "deterministic report" `Quick test_repo_report_deterministic;
           Alcotest.test_case "phase registry sorted" `Quick test_phase_registry_is_sorted_and_unique;

@@ -14,18 +14,25 @@ cd "$(dirname "$0")"
 dune build
 dune runtest
 
-# Static invariant gate: the whole tree must lint clean (determinism,
-# ambient state, phase registry, domain hygiene, interface coverage,
-# flight-recorder writes — rules R1..R6, see DESIGN.md "Static
-# analysis"), the JSON report must be
-# loadable, and the linter must be deterministic: two consecutive --json
-# runs over the same tree are byte-identical.
-dune build @lint
-dune exec bin/intersect_lint.exe -- --json | ./_build/default/bin/json_check.exe
+# Static invariant gate: the whole tree must lint clean — the syntactic
+# rules (determinism, ambient state, phase registry, domain hygiene,
+# interface coverage, flight-recorder writes — R1..R6) plus the typed
+# cross-module pass over the .cmt artifacts (determinism taint,
+# metered-transport accounting, cross-domain escape, dead phases —
+# R7..R10; see DESIGN.md "Static analysis" and "Typed analysis").  The
+# JSON report and the SARIF export must pass their schema validators,
+# and the linter must be deterministic: two consecutive runs over the
+# same tree are byte-identical, in both formats.
+dune build @check @lint
+dune exec bin/intersect_lint.exe -- --json | ./_build/default/bin/json_check.exe --lint-report
+dune exec bin/intersect_lint.exe -- --sarif | ./_build/default/bin/json_check.exe --lint-sarif
 lint_a=$(mktemp) && lint_b=$(mktemp)
 trap 'rm -f "$lint_a" "$lint_b"' EXIT
 dune exec bin/intersect_lint.exe -- --json > "$lint_a"
 dune exec bin/intersect_lint.exe -- --json > "$lint_b"
+cmp "$lint_a" "$lint_b"
+dune exec bin/intersect_lint.exe -- --sarif > "$lint_a"
+dune exec bin/intersect_lint.exe -- --sarif > "$lint_b"
 cmp "$lint_a" "$lint_b"
 
 dune exec bench/soak.exe -- --smoke --trials 12
