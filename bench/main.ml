@@ -1,8 +1,9 @@
 (* Experiment harness entry point.
 
-   `dune exec bench/main.exe` regenerates every table of the DESIGN.md
-   experiment matrix (T1..T10, A1..A3) and then runs the Bechamel
-   micro-benchmarks.  Options:
+   `dune exec bench/main.exe` regenerates every table of the experiment
+   matrix (T1..T13, F1, A1..A5 — registry entries 001..019; see
+   experiments/README.md) and then runs the Bechamel micro-benchmarks.
+   Options:
 
      --quick        smaller sweeps (CI-friendly)
      --only T1,T3   run a subset of the tables
@@ -39,7 +40,9 @@ let run quick only no_micro micro_only trace_overhead engine_scaling alloc_gate 
     Tables.run ~quick ~only
   end;
   if (not no_micro) || micro_only then Micro.run ();
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  (* Stderr, not stdout: the tables are deterministic for a fixed seed
+     and the experiment registry's regen gate diffs two stdout runs. *)
+  Printf.eprintf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
 
 open Cmdliner
 

@@ -1079,23 +1079,184 @@ let sweep_cmd =
       $ Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
       $ out_arg $ telemetry_arg $ domains_arg)
 
+(* The hypothesis-driven experiment registry (experiments/NNN-slug.md;
+   see experiments/README.md).  [verify] receives the group's own
+   subcommand-name list so a renamed subcommand invalidates every entry
+   whose reproduce/smoke command still quotes the old name. *)
+let experiments_cmd ~cli_subcommands =
+  let module R = Workload.Registry in
+  let root_arg =
+    Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc:"Repository root.")
+  in
+  let print_violations (violations : R.violation list) =
+    List.iter
+      (fun (v : R.violation) ->
+        Printf.eprintf "experiments: %s: %s\n"
+          (Option.value v.R.file ~default:"(registry)")
+          v.R.what)
+      violations
+  in
+  let load_checked root =
+    let registry, violations = R.load ~root in
+    print_violations violations;
+    (registry, violations = [])
+  in
+  let list_cmd =
+    let run root =
+      let registry, ok = load_checked root in
+      Stats.Table.print (R.table registry);
+      let draft, running, complete, superseded = R.census registry in
+      Printf.printf "%d entries: %d draft, %d running, %d complete, %d superseded\n"
+        (List.length registry.R.entries) draft running complete superseded;
+      if ok then 0 else 1
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"Status table of every registered experiment.")
+      Term.(const run $ root_arg)
+  in
+  let show_cmd =
+    let id_arg =
+      Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Experiment id.")
+    in
+    let run root id =
+      let registry, _ = R.load ~root in
+      match List.find_opt (fun (e : R.entry) -> e.R.id = id) registry.R.entries with
+      | None ->
+          Printf.eprintf "experiments: no entry with id %d\n" id;
+          2
+      | Some e ->
+          print_string (R.front_matter_of e);
+          print_string e.R.body;
+          print_newline ();
+          0
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Print one experiment (canonical frontmatter + body).")
+      Term.(const run $ root_arg $ id_arg)
+  in
+  let run_smoke ~what command =
+    Printf.eprintf "experiments: regen %s: %s\n" what command;
+    flush stderr;
+    Sys.command command
+  in
+  let capture_run command path =
+    Sys.command (Printf.sprintf "%s > %s" command (Filename.quote path))
+  in
+  let regen_smoke registry =
+    List.concat_map
+      (fun (command, mode, ids) ->
+        let what =
+          Printf.sprintf "[%s]" (String.concat "," (List.map (Printf.sprintf "%03d") ids))
+        in
+        match mode with
+        | R.Gate | R.No_regen ->
+            if run_smoke ~what command = 0 then []
+            else [ { R.file = None; what = Printf.sprintf "regen %s failed: %s" what command } ]
+        | R.Diff ->
+            let a = Filename.temp_file "regen" ".a" and b = Filename.temp_file "regen" ".b" in
+            Fun.protect
+              ~finally:(fun () ->
+                Sys.remove a;
+                Sys.remove b)
+              (fun () ->
+                Printf.eprintf "experiments: regen %s (twice, diffed): %s\n" what command;
+                flush stderr;
+                if capture_run command a <> 0 || capture_run command b <> 0 then
+                  [ { R.file = None; what = Printf.sprintf "regen %s failed: %s" what command } ]
+                else
+                  let read p = In_channel.with_open_bin p In_channel.input_all in
+                  if read a = read b then []
+                  else
+                    [
+                      {
+                        R.file = None;
+                        what =
+                          Printf.sprintf "regen %s not deterministic (two runs differ): %s" what
+                            command;
+                      };
+                    ]))
+      (R.regen_plan registry)
+  in
+  let verify_cmd =
+    let regen_arg =
+      Arg.(
+        value & flag
+        & info [ "regen-smoke" ]
+            ~doc:
+              "Re-execute every Complete entry's smoke command (deduplicated) and enforce its \
+               regen mode: exit 0 for gate, byte-identical stdout across two runs for diff.")
+    in
+    let run root regen =
+      let registry, violations = R.load ~root in
+      print_violations violations;
+      let more = R.verify ~env:(R.repo_env ~root) ~cli_subcommands registry in
+      print_violations more;
+      let regen_violations = if regen then regen_smoke registry else [] in
+      print_violations regen_violations;
+      let all = violations @ more @ regen_violations in
+      if all = [] then begin
+        let _, _, complete, _ = R.census registry in
+        Printf.printf "experiments: %d entries verified (%d complete)%s\n"
+          (List.length registry.R.entries)
+          complete
+          (if regen then ", regen smoke green" else "");
+        0
+      end
+      else begin
+        Printf.eprintf "experiments: %d violation(s)\n" (List.length all);
+        1
+      end
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Machine-check the registry: dense ids, live reproduce commands, existing \
+            schema-valid artifacts, resolving cross-links.  Exits non-zero on any violation.")
+      Term.(const run $ root_arg $ regen_arg)
+  in
+  let export_cmd =
+    let run root =
+      let registry, ok = load_checked root in
+      if not ok then 1
+      else begin
+        print_string (R.export registry);
+        0
+      end
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Print the experiments.json index (byte-identical across runs; validated by \
+            json_check --experiments).")
+      Term.(const run $ root_arg)
+  in
+  Cmd.group
+    (Cmd.info "experiments"
+       ~doc:
+         "The hypothesis-driven experiment registry over experiments/NNN-slug.md (lifecycle \
+          Draft | Running | Complete | Superseded; see experiments/README.md).")
+    [ list_cmd; show_cmd; verify_cmd; export_cmd ]
+
 let () =
   let doc = "Set-intersection communication protocols (PODC'14 reproduction)." in
+  let base =
+    [
+      two_cmd;
+      multi_cmd;
+      disj_cmd;
+      similarity_cmd;
+      soak_cmd;
+      chaos_cmd;
+      health_cmd;
+      top_cmd;
+      bench_regress_cmd;
+      conform_cmd;
+      sweep_cmd;
+      trace_cmd;
+      profile_cmd;
+    ]
+  in
+  let cli_subcommands = List.sort compare ("experiments" :: List.map Cmd.name base) in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "intersect_cli" ~doc)
-          [
-            two_cmd;
-            multi_cmd;
-            disj_cmd;
-            similarity_cmd;
-            soak_cmd;
-            chaos_cmd;
-            health_cmd;
-            top_cmd;
-            bench_regress_cmd;
-            conform_cmd;
-            sweep_cmd;
-            trace_cmd;
-            profile_cmd;
-          ]))
+       (Cmd.group (Cmd.info "intersect_cli" ~doc) (base @ [ experiments_cmd ~cli_subcommands ])))

@@ -6,8 +6,9 @@
 # intersection, resumes replay identically), an observability smoke:
 # the trace subcommand must emit valid JSON and the profile subcommand
 # must account for every metered bit (it exits non-zero on a phase-sum
-# mismatch), and a fleet-telemetry smoke (overhead bound, byte-identical
-# streams across domain counts, green health verdict).
+# mismatch), a fleet-telemetry smoke (overhead bound, byte-identical
+# streams across domain counts, green health verdict), and the
+# experiment-registry gate (experiments/ coherence + regen smoke).
 set -eu
 cd "$(dirname "$0")"
 
@@ -110,6 +111,24 @@ cmp "$tel_a" "$tel_b"
 cmp "$tel_a" "$tel_d2"
 dune exec bin/intersect_cli.exe -- health --smoke --trials 4 > /dev/null
 dune exec bin/intersect_cli.exe -- top --smoke --trials 4 --no-ansi > /dev/null
+
+# Experiment-registry gate: every experiments/NNN-slug.md must verify
+# (dense ids, live reproduce commands, existing schema-valid BENCH
+# artifacts, resolving EXPERIMENTS.md/README.md cross-links), the
+# committed experiments.json must be schema-valid and byte-identical to
+# a fresh export (twice, so the export itself is deterministic), and the
+# regen smoke must re-derive every Complete entry's deterministic fields
+# unchanged (gate entries exit 0, diff entries emit byte-identical
+# stdout across two runs).
+dune build @experiments
+./_build/default/bin/json_check.exe --experiments < experiments.json
+exp_a=$(mktemp) && exp_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$soak_d1" "$soak_d2" "$chaos_a" "$chaos_b" "$det_a" "$det_b" "$sweep_d1" "$sweep_d2" "$tel_a" "$tel_b" "$tel_d2" "$exp_a" "$exp_b"' EXIT
+./_build/default/bin/intersect_cli.exe experiments export > "$exp_a"
+./_build/default/bin/intersect_cli.exe experiments export > "$exp_b"
+cmp "$exp_a" "$exp_b"
+cmp "$exp_a" experiments.json
+./_build/default/bin/intersect_cli.exe experiments verify --regen-smoke > /dev/null
 
 # Documentation gate, where odoc is installed (the CI image may not ship
 # it): the API docs must build without warnings-as-errors regressions.
